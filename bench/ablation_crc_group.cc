@@ -1,0 +1,59 @@
+// Ablation of the 2-D CRC group size (the paper uses 4 parameters per CRC,
+// Fig. 4): storage cost vs localization precision. Larger groups store
+// fewer codes but flag more false positives per true error (the whole
+// row-group × column-group intersection), eating into the G²-per-filter
+// recovery budget of partially-recoverable convs.
+#include <algorithm>
+#include <cstdio>
+
+#include "ecc/crc2d.h"
+#include "support/bytes.h"
+#include "support/prng.h"
+#include "tensor/tensor.h"
+
+int main() {
+  using namespace milr;
+  // A CIFAR-small style filter bank: 3×3×64→128.
+  Prng init_prng(7);
+  const Tensor golden = RandomTensor(Shape{3, 3, 64, 128}, init_prng);
+  const std::size_t errors_per_trial = 32;
+  const std::size_t trials = 50;
+
+  std::printf("ablation_crc_group: 2-D CRC group size on a (3,3,64,128) "
+              "filter bank, %zu random whole-weight errors/trial\n",
+              errors_per_trial);
+  std::printf("%-6s %12s %16s %18s\n", "group", "bytes", "suspects/error",
+              "missed errors");
+  for (const std::size_t group : {1u, 2u, 4u, 8u, 16u}) {
+    const auto codes = ecc::ComputeCrc2d(golden, group);
+    std::size_t total_suspects = 0;
+    std::size_t total_missed = 0;
+    Prng prng(100 + group);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      Tensor corrupted = golden;
+      std::vector<std::size_t> victims;
+      while (victims.size() < errors_per_trial) {
+        const std::size_t v = prng.NextBelow(corrupted.size());
+        if (std::find(victims.begin(), victims.end(), v) != victims.end()) {
+          continue;
+        }
+        victims.push_back(v);
+        corrupted[v] =
+            FloatFromBits(FloatBits(corrupted[v]) ^ 0xffffffffu);
+      }
+      const auto suspects = ecc::LocalizeErrors(corrupted, codes);
+      total_suspects += suspects.size();
+      for (const auto v : victims) {
+        if (std::find(suspects.begin(), suspects.end(), v) ==
+            suspects.end()) {
+          ++total_missed;
+        }
+      }
+    }
+    std::printf("%-6zu %12zu %16.2f %18zu\n", group, codes.SizeBytes(),
+                static_cast<double>(total_suspects) /
+                    static_cast<double>(trials * errors_per_trial),
+                total_missed);
+  }
+  return 0;
+}

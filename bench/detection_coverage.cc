@@ -1,0 +1,51 @@
+// Reproduces the detection-coverage statistics quoted in §V-B/§V-C: the
+// fraction of fault-injection runs in which every erroneous layer was
+// flagged by MILR's lightweight detector (paper: 78.6% for MNIST, 64.7% for
+// CIFAR-10 small). Misses are errors too small to perturb the partial
+// checkpoint — the same runs still recover to ~original accuracy, which the
+// figures cover; here we only count coverage.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "memory/fault_injector.h"
+
+int main() {
+  using namespace milr;
+  const std::size_t runs = std::max<std::size_t>(20, apps::RunsPerPoint());
+  const std::vector<double> rates = {1e-6, 1e-5, 1e-4, 1e-3};
+  std::printf("detection_coverage: %% of runs where every corrupted layer "
+              "was flagged (%zu runs/rate)\n", runs);
+  for (const std::string network : {apps::kMnist, apps::kCifarSmall}) {
+    auto bundle = apps::LoadOrTrain(network);
+    core::MilrProtector protector(*bundle.model);
+    const auto golden = bundle.model->SnapshotParams();
+    std::size_t covered = 0;
+    std::size_t total = 0;
+    for (const double rate : rates) {
+      for (std::size_t run = 0; run < runs; ++run) {
+        Prng prng(0xe000 + run * 31 + static_cast<std::uint64_t>(rate * 1e9));
+        const auto report =
+            memory::InjectBitFlips(*bundle.model, rate, prng);
+        const auto detection = protector.Detect();
+        bool all = true;
+        for (const auto layer : report.touched_layers) {
+          bool found = false;
+          for (const auto flagged : detection.flagged_layers) {
+            if (flagged == layer) found = true;
+          }
+          all = all && found;
+        }
+        if (all) ++covered;
+        ++total;
+        bundle.model->RestoreParams(golden);
+      }
+    }
+    std::printf("  %-12s all-layers-detected in %.1f%% of %zu runs "
+                "(paper: MNIST 78.6%%, CIFAR-small 64.7%%)\n",
+                network.c_str(),
+                100.0 * static_cast<double>(covered) /
+                    static_cast<double>(total),
+                total);
+  }
+  return 0;
+}

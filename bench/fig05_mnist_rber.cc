@@ -1,0 +1,7 @@
+// Reproduces Fig5 of the paper (see bench_common.h for knobs).
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunRberFigure("Fig5 (fig05_mnist_rber)", milr::apps::kMnist, milr::bench::kRberRatesMnist);
+  return 0;
+}

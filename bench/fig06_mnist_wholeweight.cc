@@ -1,0 +1,7 @@
+// Reproduces Fig6 of the paper (see bench_common.h for knobs).
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunWholeWeightFigure("Fig6 (fig06_mnist_wholeweight)", milr::apps::kMnist, milr::bench::kWholeWeightRatesMnist);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Fig7 of the paper (see bench_common.h for knobs).
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunRberFigure("Fig7 (fig07_cifar_small_rber)", milr::apps::kCifarSmall, milr::bench::kRberRatesCifar);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Fig8 of the paper (see bench_common.h for knobs).
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunWholeWeightFigure("Fig8 (fig08_cifar_small_wholeweight)", milr::apps::kCifarSmall, milr::bench::kWholeWeightRatesCifar);
+  return 0;
+}

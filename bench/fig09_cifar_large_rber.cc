@@ -1,0 +1,7 @@
+// Reproduces Fig9 of the paper (see bench_common.h for knobs).
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunRberFigure("Fig9 (fig09_cifar_large_rber)", milr::apps::kCifarLarge, milr::bench::kRberRatesCifar);
+  return 0;
+}

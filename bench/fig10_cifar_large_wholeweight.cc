@@ -1,0 +1,7 @@
+// Reproduces Fig10 of the paper (see bench_common.h for knobs).
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunWholeWeightFigure("Fig10 (fig10_cifar_large_wholeweight)", milr::apps::kCifarLarge, milr::bench::kWholeWeightRatesCifar);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Fig. 11: recovery time as a function of the number of
+// whole-weight errors, for all three evaluation networks. Absolute seconds
+// depend on this machine; the paper's shape — growth with error count,
+// super-linear once many layers/filters need solving — is the target.
+#include <cstdio>
+
+#include "apps/experiment.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace milr;
+  const std::vector<std::size_t> error_counts = {10,   100,  500,
+                                                 1000, 5000, 10000};
+  std::printf("Fig11 (fig11_recovery_time): detect+recover seconds vs "
+              "injected whole-weight errors\n");
+  std::printf("%-12s", "errors");
+  for (const auto count : error_counts) std::printf(" %8zu", count);
+  std::printf("\n");
+  for (const std::string network :
+       {apps::kMnist, apps::kCifarSmall, apps::kCifarLarge}) {
+    auto bundle = apps::LoadOrTrain(network);
+    apps::ExperimentContext context(bundle);
+    std::printf("%-12s", network.c_str());
+    std::fflush(stdout);
+    for (const auto count : error_counts) {
+      const double seconds = context.TimedRecovery(count, 0xc000 + count);
+      std::printf(" %8.3f", seconds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

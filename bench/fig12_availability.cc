@@ -1,0 +1,64 @@
+// Reproduces Fig. 12: the availability / minimum-accuracy trade-off curve
+// (equation 6). Inputs are measured on this machine: Td from the detection
+// phase, Tr(n) fitted to Fig. 11-style timings; the DRAM error rate is the
+// paper's field worst case (75,000 FIT/Mbit, Schroeder et al.), and A(n) is
+// the paper's linear accuracy-degradation assumption.
+#include <cstdio>
+
+#include "apps/experiment.h"
+#include "bench_common.h"
+#include "milr/availability.h"
+#include "support/stopwatch.h"
+
+int main() {
+  using namespace milr;
+  std::printf("Fig12 (fig12_availability): availability vs minimum accuracy "
+              "(eq. 6)\n");
+  for (const std::string network :
+       {apps::kMnist, apps::kCifarSmall, apps::kCifarLarge}) {
+    auto bundle = apps::LoadOrTrain(network);
+    apps::ExperimentContext context(bundle);
+
+    // Measure Td (detection) on this machine.
+    Stopwatch watch;
+    context.protector().Detect();
+    const double td = watch.ElapsedSeconds();
+
+    // Measure Tr at a few error counts and fit the quadratic model.
+    std::vector<double> errors = {10, 200, 1000, 4000};
+    std::vector<double> seconds;
+    for (const double n : errors) {
+      seconds.push_back(
+          context.TimedRecovery(static_cast<std::size_t>(n), 0xd00d));
+    }
+    const auto tr = core::RecoveryTimeModel::Fit(errors, seconds);
+
+    core::AvailabilityParams params;
+    params.detection_seconds = td;
+    params.detections_per_cycle = 2.0;  // paper: detection runs twice
+    params.time_between_errors_s =
+        3600.0 / core::ErrorsPerHour(bundle.model->TotalParams());
+    params.recovery = tr;
+    params.accuracy_loss_per_error = 1e-5;
+
+    std::printf("-- %s: Td=%.4fs Tr(n)=%.3f+%.2en+%.2en² Tbe=%.0fh\n",
+                network.c_str(), td, tr.base_seconds, tr.per_error_seconds,
+                tr.per_error_sq_seconds,
+                params.time_between_errors_s / 3600.0);
+    std::printf("   %-14s %-12s %-12s\n", "cycle", "availability",
+                "min accuracy");
+    for (const auto& point : core::AvailabilityAccuracyCurve(
+             params, /*min_cycle_s=*/60.0, /*max_cycle_s=*/3.15e7, 9)) {
+      std::printf("   %12.0fs   %.8f   %.6f\n", point.cycle_seconds,
+                  point.availability, point.min_accuracy);
+    }
+    // The paper's two example users.
+    std::printf("   user A (accuracy >= 99.999%%): availability %.6f\n",
+                core::BestAvailabilityAtAccuracy(params, 0.99999, 60.0,
+                                                 3.15e7));
+    std::printf("   user B (availability >= 99.9%%): min accuracy %.6f\n",
+                core::BestAccuracyAtAvailability(params, 0.999, 60.0,
+                                                 3.15e7));
+  }
+  return 0;
+}

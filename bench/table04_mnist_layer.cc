@@ -1,0 +1,7 @@
+// Reproduces TableIV of the paper: whole-layer corruption accuracy.
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunWholeLayerTable("TableIV (table04_mnist_layer)", milr::apps::kMnist);
+  return 0;
+}

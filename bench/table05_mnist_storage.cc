@@ -1,0 +1,7 @@
+// Reproduces TableV of the paper: storage overhead accounting.
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunStorageTable("TableV (table05_mnist_storage)", milr::apps::kMnist);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces TableVI of the paper: whole-layer corruption accuracy.
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunWholeLayerTable("TableVI (table06_cifar_small_layer)", milr::apps::kCifarSmall);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces TableVII of the paper: storage overhead accounting.
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunStorageTable("TableVII (table07_cifar_small_storage)", milr::apps::kCifarSmall);
+  return 0;
+}

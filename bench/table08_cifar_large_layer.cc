@@ -1,0 +1,7 @@
+// Reproduces TableVIII of the paper: whole-layer corruption accuracy.
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunWholeLayerTable("TableVIII (table08_cifar_large_layer)", milr::apps::kCifarLarge);
+  return 0;
+}

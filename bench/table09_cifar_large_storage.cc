@@ -1,0 +1,7 @@
+// Reproduces TableIX of the paper: storage overhead accounting.
+#include "bench_common.h"
+
+int main() {
+  milr::bench::RunStorageTable("TableIX (table09_cifar_large_storage)", milr::apps::kCifarLarge);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Table X: single prediction, batched per-sample prediction and
+// MILR error-identification time for each network (google-benchmark).
+// The paper's shape: identification ≈ a single prediction; batched
+// prediction amortizes far below both.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+
+#include "apps/experiment.h"
+#include "apps/networks.h"
+#include "support/parallel.h"
+#include "support/prng.h"
+
+namespace {
+
+using namespace milr;
+
+struct NetworkFixture {
+  apps::NetworkBundle bundle;
+  std::unique_ptr<apps::ExperimentContext> context;
+  Tensor sample;
+
+  explicit NetworkFixture(const std::string& name)
+      : bundle(apps::LoadOrTrain(name)) {
+    context = std::make_unique<apps::ExperimentContext>(bundle);
+    Prng prng(1);
+    sample = RandomTensor(bundle.model->input_shape(), prng);
+  }
+};
+
+NetworkFixture& Fixture(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<NetworkFixture>> fixtures;
+  auto& slot = fixtures[name];
+  if (!slot) slot = std::make_unique<NetworkFixture>(name);
+  return *slot;
+}
+
+void BM_SinglePrediction(benchmark::State& state, const std::string& name) {
+  auto& fixture = Fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.bundle.model->Predict(fixture.sample));
+  }
+}
+
+void BM_BatchPredictionPerSample(benchmark::State& state,
+                                 const std::string& name) {
+  // Batch throughput: per-sample cost when predictions run in parallel
+  // across the test set (the paper's "Batch Prediction" column).
+  auto& fixture = Fixture(name);
+  const auto& test = fixture.bundle.test;
+  const std::size_t batch = std::min<std::size_t>(128, test.size());
+  for (auto _ : state) {
+    std::atomic<std::size_t> acc{0};
+    ParallelFor(0, batch, [&](std::size_t i) {
+      acc.fetch_add(fixture.bundle.model->Classify(test.images[i]),
+                    std::memory_order_relaxed);
+    }, /*grain=*/2);
+    benchmark::DoNotOptimize(acc.load());
+  }
+  state.counters["per_sample_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(batch),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Identification(benchmark::State& state, const std::string& name) {
+  // MILR's error-detection phase over all layers (Table X "Identification").
+  auto& fixture = Fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.context->protector().Detect());
+  }
+}
+
+#define MILR_TABLE10(net)                                                   \
+  BENCHMARK_CAPTURE(BM_SinglePrediction, net, #net);                        \
+  BENCHMARK_CAPTURE(BM_BatchPredictionPerSample, net, #net);                \
+  BENCHMARK_CAPTURE(BM_Identification, net, #net)
+
+MILR_TABLE10(mnist);
+MILR_TABLE10(cifar_small);
+MILR_TABLE10(cifar_large);
+
+}  // namespace
+
+BENCHMARK_MAIN();

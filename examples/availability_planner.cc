@@ -1,0 +1,53 @@
+// Mission planning with the availability/accuracy trade-off (Section V-E).
+//
+// Given a deployment's DRAM failure rate and a network's measured detection
+// and recovery costs, equation 6 tells you how often to run MILR's
+// detection phase: frequent repair keeps worst-case accuracy high but burns
+// availability, and vice versa. This example plans both of the paper's
+// users: A needs ≥99.999% accuracy (e.g. a safety function), B needs
+// ≥99.9% availability (e.g. a recommender).
+//
+//   ./build/examples/availability_planner
+#include <cstdio>
+
+#include "milr/availability.h"
+
+int main() {
+  using namespace milr::core;
+
+  // Inputs a deployment engineer would measure or look up. These defaults
+  // mirror the paper's assumptions: 75,000 FIT/Mbit field error rate, a
+  // ~1.7M-parameter network, detection costing about one inference, and a
+  // recovery-time model fitted from Fig. 11-style measurements.
+  const std::size_t param_count = 1670000;
+  AvailabilityParams params;
+  params.detection_seconds = 0.02;
+  params.detections_per_cycle = 2.0;
+  params.time_between_errors_s = 3600.0 / ErrorsPerHour(param_count);
+  params.recovery.base_seconds = 0.5;
+  params.recovery.per_error_seconds = 2e-3;
+  params.recovery.per_error_sq_seconds = 1e-7;
+  params.accuracy_loss_per_error = 1e-5;
+
+  std::printf("network: %zu parameters -> mean time between errors %.0f h\n",
+              param_count, params.time_between_errors_s / 3600.0);
+
+  std::printf("\nrepair-cycle sweep (eq. 6):\n");
+  std::printf("  %-14s %-14s %-12s\n", "cycle", "availability",
+              "min accuracy");
+  for (const auto& point :
+       AvailabilityAccuracyCurve(params, 60.0, 3.15e7, 10)) {
+    std::printf("  %12.0fs   %.8f   %.6f\n", point.cycle_seconds,
+                point.availability, point.min_accuracy);
+  }
+
+  const double user_a =
+      BestAvailabilityAtAccuracy(params, 0.99999, 60.0, 3.15e7);
+  const double user_b =
+      BestAccuracyAtAvailability(params, 0.999, 60.0, 3.15e7);
+  std::printf("\nuser A (min accuracy 99.999%%): best availability %.8f\n",
+              user_a);
+  std::printf("user B (availability 99.9%%):   best min accuracy %.6f\n",
+              user_b);
+  return 0;
+}

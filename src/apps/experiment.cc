@@ -1,0 +1,186 @@
+#include "apps/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/parallel.h"
+#include "support/stopwatch.h"
+
+namespace milr::apps {
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNoRecovery: return "none";
+    case Scheme::kEcc: return "ecc";
+    case Scheme::kMilr: return "milr";
+    case Scheme::kEccMilr: return "ecc+milr";
+  }
+  return "unknown";
+}
+
+BoxStats BoxStats::Of(std::vector<double> values) {
+  BoxStats stats;
+  if (values.empty()) return stats;
+  std::sort(values.begin(), values.end());
+  auto quantile = [&values](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  stats.median = quantile(0.5);
+  stats.q25 = quantile(0.25);
+  stats.q75 = quantile(0.75);
+  stats.min = values.front();
+  stats.max = values.back();
+  return stats;
+}
+
+std::size_t RunsPerPoint() { return EnvSize("MILR_RUNS", 3); }
+
+std::size_t EvalCap() { return EnvSize("MILR_EVAL", 300); }
+
+ExperimentContext::ExperimentContext(NetworkBundle& bundle,
+                                     core::MilrConfig config)
+    : bundle_(&bundle), golden_(bundle.model->SnapshotParams()) {
+  protector_ = std::make_unique<core::MilrProtector>(*bundle.model, config);
+  ecc_ = std::make_unique<memory::EccProtectedModel>(*bundle.model);
+}
+
+void ExperimentContext::RestoreGolden() {
+  bundle_->model->RestoreParams(golden_);
+}
+
+double ExperimentContext::NormalizedAccuracy() {
+  const nn::Dataset& test = bundle_->test;
+  const std::size_t count = std::min(EvalCap(), test.size());
+  std::atomic<std::size_t> correct{0};
+  ParallelFor(0, count, [&](std::size_t i) {
+    if (bundle_->model->Classify(test.images[i]) == test.labels[i]) {
+      correct.fetch_add(1, std::memory_order_relaxed);
+    }
+  }, /*grain=*/4);
+  const double accuracy =
+      static_cast<double>(correct.load()) / static_cast<double>(count);
+  return bundle_->clean_accuracy > 0.0 ? accuracy / bundle_->clean_accuracy
+                                       : 0.0;
+}
+
+TrialResult ExperimentContext::ApplySchemeAndMeasure(
+    Scheme scheme, const memory::InjectionReport& report) {
+  TrialResult result;
+  result.injected_weights = report.corrupted_weights;
+  result.touched_layers = report.touched_layers.size();
+
+  if (scheme == Scheme::kEcc || scheme == Scheme::kEccMilr) {
+    ecc_->Scrub();
+  }
+  if (scheme == Scheme::kMilr || scheme == Scheme::kEccMilr) {
+    const core::DetectionReport detection = protector_->Detect();
+    result.flagged_layers = detection.flagged_layers.size();
+    // Coverage: every layer the injector touched (and that still holds an
+    // error) should be flagged. We approximate the paper's statistic by
+    // checking touched ⊆ flagged; post-ECC scrubbing may have already
+    // cleaned some layers, which counts as covered.
+    for (const std::size_t layer : report.touched_layers) {
+      if (std::find(detection.flagged_layers.begin(),
+                    detection.flagged_layers.end(),
+                    layer) == detection.flagged_layers.end()) {
+        result.all_layers_detected = false;
+      }
+    }
+    if (detection.any()) {
+      protector_->Recover(detection);
+      // Run any remaining multi-pass iterations to the fixpoint.
+      protector_->DetectAndRecover();
+    }
+  }
+  result.normalized_accuracy = NormalizedAccuracy();
+  RestoreGolden();
+  return result;
+}
+
+TrialResult ExperimentContext::RunRberTrial(Scheme scheme, double rber,
+                                            std::uint64_t seed) {
+  RestoreGolden();
+  Prng prng(seed);
+  const auto report = memory::InjectBitFlips(*bundle_->model, rber, prng);
+  return ApplySchemeAndMeasure(scheme, report);
+}
+
+TrialResult ExperimentContext::RunWholeWeightTrial(Scheme scheme, double q,
+                                                   std::uint64_t seed) {
+  RestoreGolden();
+  Prng prng(seed);
+  const auto report =
+      memory::InjectWholeWeightErrors(*bundle_->model, q, prng);
+  return ApplySchemeAndMeasure(scheme, report);
+}
+
+std::vector<ExperimentContext::LayerTrialRow>
+ExperimentContext::RunWholeLayerSweep(std::uint64_t seed) {
+  std::vector<LayerTrialRow> rows;
+  Prng prng(seed);
+  for (std::size_t i = 0; i < bundle_->model->LayerCount(); ++i) {
+    if (bundle_->model->layer(i).ParamCount() == 0) continue;
+    LayerTrialRow row;
+    row.layer_index = i;
+    row.layer_name = bundle_->model->layer(i).name();
+    row.partial_recovery =
+        protector_->plan().layers[i].solve == core::SolveMode::kConvPartial;
+
+    RestoreGolden();
+    memory::CorruptWholeLayer(*bundle_->model, i, prng);
+    row.none_accuracy = NormalizedAccuracy();
+
+    RestoreGolden();
+    memory::CorruptWholeLayer(*bundle_->model, i, prng);
+    const auto detection = protector_->Detect();
+    const auto recovery = protector_->Recover(detection);
+    row.milr_accuracy = NormalizedAccuracy();
+    row.recovered_clean = recovery.all_ok();
+    for (const auto& layer : recovery.layers) {
+      if (!layer.exact_system) row.recovered_clean = false;
+    }
+    rows.push_back(row);
+  }
+  RestoreGolden();
+  return rows;
+}
+
+double ExperimentContext::TimedRecovery(std::size_t errors,
+                                        std::uint64_t seed) {
+  RestoreGolden();
+  Prng prng(seed);
+  memory::InjectExactWeightErrors(*bundle_->model, errors, prng);
+  Stopwatch watch;
+  protector_->DetectAndRecover();
+  const double seconds = watch.ElapsedSeconds();
+  RestoreGolden();
+  return seconds;
+}
+
+std::string FormatBoxRow(const std::string& label, const BoxStats& stats) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-10s median=%.4f q25=%.4f q75=%.4f min=%.4f max=%.4f",
+                label.c_str(), stats.median, stats.q25, stats.q75, stats.min,
+                stats.max);
+  return line;
+}
+
+}  // namespace milr::apps

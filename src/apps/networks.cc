@@ -1,0 +1,145 @@
+#include "apps/networks.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "data/synthetic.h"
+#include "nn/init.h"
+#include "nn/serialize.h"
+
+namespace milr::apps {
+namespace {
+
+std::string CacheDir() {
+  if (const char* env = std::getenv("MILR_CACHE_DIR")) return env;
+  return "weights_cache";
+}
+
+struct TrainRecipe {
+  data::SyntheticSpec spec;
+  std::size_t train_count = 3000;
+  std::size_t test_count = 500;
+  nn::TrainConfig config;
+};
+
+TrainRecipe RecipeFor(const std::string& which) {
+  TrainRecipe recipe;
+  recipe.config.verbose = std::getenv("MILR_VERBOSE") != nullptr;
+  if (which == kMnist) {
+    recipe.spec = data::MnistLikeSpec();
+    recipe.config.epochs = 3;
+    recipe.config.learning_rate = 0.02f;
+  } else if (which == kCifarSmall) {
+    recipe.spec = data::CifarLikeSpec();
+    recipe.config.epochs = 8;
+    recipe.config.learning_rate = 0.01f;
+    recipe.config.lr_decay = 0.8f;
+  } else if (which == kCifarLarge) {
+    recipe.spec = data::CifarLikeSpec();
+    recipe.spec.seed = 17;  // independent draw from the small network's set
+    recipe.train_count = 2000;
+    recipe.config.epochs = 8;
+    recipe.config.learning_rate = 0.01f;
+    recipe.config.lr_decay = 0.8f;
+  } else {
+    throw std::invalid_argument("unknown network: " + which);
+  }
+  return recipe;
+}
+
+}  // namespace
+
+nn::Model BuildMnistNetwork() {
+  nn::Model model(Shape{28, 28, 1});
+  model.AddConv(3, 32, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddConv(3, 32, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddConv(3, 64, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddFlatten();
+  model.AddDense(256).AddBias().AddReLU();
+  model.AddDense(10).AddBias();
+  return model;
+}
+
+nn::Model BuildCifarSmallNetwork() {
+  nn::Model model(Shape{32, 32, 3});
+  model.AddConv(3, 32, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(3, 32, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddConv(3, 64, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(3, 64, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddConv(3, 128, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(3, 128, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(3, 128, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddFlatten();
+  model.AddDense(128).AddBias().AddReLU();
+  model.AddDense(10).AddBias();
+  return model;
+}
+
+nn::Model BuildCifarLargeNetwork() {
+  nn::Model model(Shape{32, 32, 3});
+  model.AddConv(5, 96, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddConv(5, 96, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddConv(5, 80, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(5, 64, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(5, 64, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddConv(5, 96, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddFlatten();
+  model.AddDense(256).AddBias().AddReLU();
+  model.AddDense(10).AddBias();
+  return model;
+}
+
+NetworkBundle LoadOrTrain(const std::string& which) {
+  NetworkBundle bundle;
+  bundle.name = which;
+  if (which == kMnist) {
+    bundle.model = std::make_unique<nn::Model>(BuildMnistNetwork());
+  } else if (which == kCifarSmall) {
+    bundle.model = std::make_unique<nn::Model>(BuildCifarSmallNetwork());
+  } else if (which == kCifarLarge) {
+    bundle.model = std::make_unique<nn::Model>(BuildCifarLargeNetwork());
+  } else {
+    throw std::invalid_argument("unknown network: " + which);
+  }
+
+  const TrainRecipe recipe = RecipeFor(which);
+  // Test set drawn after the training samples from the same generator
+  // stream (disjoint by construction).
+  auto all = data::GenerateSynthetic(recipe.spec,
+                                     recipe.train_count + recipe.test_count);
+  nn::Dataset train;
+  for (std::size_t i = 0; i < recipe.train_count; ++i) {
+    train.images.push_back(std::move(all.images[i]));
+    train.labels.push_back(all.labels[i]);
+  }
+  for (std::size_t i = recipe.train_count; i < all.size(); ++i) {
+    bundle.test.images.push_back(std::move(all.images[i]));
+    bundle.test.labels.push_back(all.labels[i]);
+  }
+
+  const std::string path = CacheDir() + "/" + which + ".weights";
+  nn::InitHeUniform(*bundle.model, /*seed=*/0xabcd + which.size());
+  if (!nn::LoadParams(*bundle.model, path).ok()) {
+    std::fprintf(stderr, "[%s] training (%zu samples, %zu epochs)...\n",
+                 which.c_str(), train.size(), recipe.config.epochs);
+    nn::Fit(*bundle.model, train, recipe.config);
+    std::filesystem::create_directories(CacheDir());
+    const auto saved = nn::SaveParams(*bundle.model, path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[%s] warning: cache save failed: %s\n",
+                   which.c_str(), saved.ToString().c_str());
+    }
+  }
+  bundle.clean_accuracy = nn::Evaluate(*bundle.model, bundle.test);
+  return bundle;
+}
+
+}  // namespace milr::apps

@@ -1,0 +1,41 @@
+// The paper's three evaluation networks (Tables I-III) and a train-or-load
+// weight cache shared by every bench and example.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/model.h"
+#include "nn/train.h"
+
+namespace milr::apps {
+
+/// Table I: MNIST network (valid padding; bias+ReLU after conv/dense).
+nn::Model BuildMnistNetwork();
+
+/// Table II: CIFAR-10 small network (same padding, VGG-inspired).
+nn::Model BuildCifarSmallNetwork();
+
+/// Table III: CIFAR-10 large network (same padding, FAWCA-based, 5×5).
+nn::Model BuildCifarLargeNetwork();
+
+/// A trained network plus its held-out test set and clean accuracy.
+struct NetworkBundle {
+  std::string name;
+  std::unique_ptr<nn::Model> model;
+  nn::Dataset test;
+  double clean_accuracy = 0.0;
+};
+
+/// Names accepted by LoadOrTrain.
+inline constexpr const char* kMnist = "mnist";
+inline constexpr const char* kCifarSmall = "cifar_small";
+inline constexpr const char* kCifarLarge = "cifar_large";
+
+/// Builds the named network, trains it on the matching synthetic dataset
+/// (or loads cached weights from $MILR_CACHE_DIR, default "weights_cache"),
+/// and returns it with its test set. Training is deterministic, so the
+/// cache is reproducible.
+NetworkBundle LoadOrTrain(const std::string& which);
+
+}  // namespace milr::apps

@@ -1,0 +1,183 @@
+#include "crypto/aes.h"
+
+namespace milr::crypto {
+namespace {
+
+// GF(2^8) multiply with the AES reduction polynomial x^8+x^4+x^3+x+1.
+constexpr std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) result ^= a;
+    const bool high = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (high) a ^= 0x1b;
+    b >>= 1;
+  }
+  return result;
+}
+
+// The S-box is generated (GF inverse + affine transform) rather than typed
+// in, eliminating transcription risk.
+struct SboxTables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+
+  constexpr SboxTables() {
+    // Build inverses via exhaustive search (fine at startup / constexpr).
+    std::array<std::uint8_t, 256> inverse{};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (GfMul(static_cast<std::uint8_t>(a),
+                  static_cast<std::uint8_t>(b)) == 1) {
+          inverse[static_cast<std::size_t>(a)] =
+              static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      const std::uint8_t x = inverse[static_cast<std::size_t>(i)];
+      // Affine transform: s = x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3) ^
+      // rotl(x,4) ^ 0x63.
+      auto rotl8 = [](std::uint8_t v, int k) {
+        return static_cast<std::uint8_t>((v << k) | (v >> (8 - k)));
+      };
+      const std::uint8_t s = static_cast<std::uint8_t>(
+          x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63);
+      sbox[static_cast<std::size_t>(i)] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(i);
+    }
+  }
+};
+
+const SboxTables kTables{};
+
+constexpr std::array<std::uint8_t, 11> kRcon = {0x00, 0x01, 0x02, 0x04,
+                                                0x08, 0x10, 0x20, 0x40,
+                                                0x80, 0x1b, 0x36};
+
+void SubBytes(Block& s) {
+  for (auto& b : s) b = kTables.sbox[b];
+}
+
+void InvSubBytes(Block& s) {
+  for (auto& b : s) b = kTables.inv_sbox[b];
+}
+
+// State layout: column-major as in FIPS-197 — s[row + 4*col] = block byte.
+void ShiftRows(Block& s) {
+  Block t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * c)] =
+          t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+    }
+  }
+}
+
+void InvShiftRows(Block& s) {
+  Block t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * ((c + r) % 4))] =
+          t[static_cast<std::size_t>(r + 4 * c)];
+    }
+  }
+}
+
+void MixColumns(Block& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s.data() + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2));
+  }
+}
+
+void InvMixColumns(Block& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s.data() + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(GfMul(a0, 14) ^ GfMul(a1, 11) ^
+                                       GfMul(a2, 13) ^ GfMul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(GfMul(a0, 9) ^ GfMul(a1, 14) ^
+                                       GfMul(a2, 11) ^ GfMul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(GfMul(a0, 13) ^ GfMul(a1, 9) ^
+                                       GfMul(a2, 14) ^ GfMul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(GfMul(a0, 11) ^ GfMul(a1, 13) ^
+                                       GfMul(a2, 9) ^ GfMul(a3, 14));
+  }
+}
+
+void AddRoundKey(Block& s, const Block& rk) {
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+Aes128::Aes128(const Key128& key) {
+  // Key expansion (FIPS-197 §5.2) into 11 round keys.
+  std::array<std::array<std::uint8_t, 4>, 44> w{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          key[static_cast<std::size_t>(4 * i + j)];
+    }
+  }
+  for (std::size_t i = 4; i < 44; ++i) {
+    auto temp = w[i - 1];
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kTables.sbox[temp[1]] ^ kRcon[i / 4]);
+      temp[1] = kTables.sbox[temp[2]];
+      temp[2] = kTables.sbox[temp[3]];
+      temp[3] = kTables.sbox[t0];
+    }
+    for (int j = 0; j < 4; ++j) {
+      w[i][static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(
+          w[i - 4][static_cast<std::size_t>(j)] ^
+          temp[static_cast<std::size_t>(j)]);
+    }
+  }
+  for (int round = 0; round <= kRounds; ++round) {
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        round_keys_[static_cast<std::size_t>(round)]
+                   [static_cast<std::size_t>(4 * col + row)] =
+            w[static_cast<std::size_t>(4 * round + col)]
+             [static_cast<std::size_t>(row)];
+      }
+    }
+  }
+}
+
+void Aes128::EncryptBlock(Block& block) const {
+  AddRoundKey(block, round_keys_[0]);
+  for (int round = 1; round < kRounds; ++round) {
+    SubBytes(block);
+    ShiftRows(block);
+    MixColumns(block);
+    AddRoundKey(block, round_keys_[static_cast<std::size_t>(round)]);
+  }
+  SubBytes(block);
+  ShiftRows(block);
+  AddRoundKey(block, round_keys_[kRounds]);
+}
+
+void Aes128::DecryptBlock(Block& block) const {
+  AddRoundKey(block, round_keys_[kRounds]);
+  InvShiftRows(block);
+  InvSubBytes(block);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    AddRoundKey(block, round_keys_[static_cast<std::size_t>(round)]);
+    InvMixColumns(block);
+    InvShiftRows(block);
+    InvSubBytes(block);
+  }
+  AddRoundKey(block, round_keys_[0]);
+}
+
+}  // namespace milr::crypto

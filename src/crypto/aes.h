@@ -1,0 +1,41 @@
+// AES-128 block cipher.
+//
+// Used by the XTS-AES memory-encryption model (crypto/xts.h) that recreates
+// the paper's threat setting: CNN weights live in an encrypted VM's memory
+// (AMD SEV / Intel MKTME style). A single flipped ciphertext bit decrypts to
+// an essentially random 16-byte plaintext block — the "plaintext space"
+// error class MILR exists to correct.
+//
+// This is a straightforward table-free software implementation; it is not
+// intended to be constant-time or fast, only functionally correct and
+// self-contained for the reproduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace milr::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+using Block = std::array<std::uint8_t, kAesBlockSize>;
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// AES-128 with precomputed key schedule.
+class Aes128 {
+ public:
+  explicit Aes128(const Key128& key);
+
+  /// Encrypts one 16-byte block in place.
+  void EncryptBlock(Block& block) const;
+
+  /// Decrypts one 16-byte block in place.
+  void DecryptBlock(Block& block) const;
+
+ private:
+  static constexpr int kRounds = 10;
+  std::array<Block, kRounds + 1> round_keys_{};
+};
+
+}  // namespace milr::crypto

@@ -1,0 +1,57 @@
+#include "crypto/xts.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace milr::crypto {
+
+void Gf128MulAlpha(Block& value) {
+  // Little-endian convention per IEEE 1619: byte 0 holds the lowest bits.
+  std::uint8_t carry = 0;
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+    const std::uint8_t next_carry = static_cast<std::uint8_t>(value[i] >> 7);
+    value[i] = static_cast<std::uint8_t>((value[i] << 1) | carry);
+    carry = next_carry;
+  }
+  if (carry) value[0] ^= 0x87;
+}
+
+void XtsAes::Process(std::span<std::uint8_t> data, std::uint64_t sector,
+                     Direction direction) const {
+  if (data.size() % kAesBlockSize != 0) {
+    throw std::invalid_argument(
+        "XtsAes: data length must be a multiple of 16 bytes");
+  }
+  // Tweak seed: encrypt the sector number (little-endian in a zero block).
+  Block tweak{};
+  for (int i = 0; i < 8; ++i) {
+    tweak[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sector >> (8 * i));
+  }
+  tweak_cipher_.EncryptBlock(tweak);
+
+  const std::size_t blocks = data.size() / kAesBlockSize;
+  for (std::size_t j = 0; j < blocks; ++j) {
+    Block b;
+    std::memcpy(b.data(), data.data() + j * kAesBlockSize, kAesBlockSize);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) b[i] ^= tweak[i];
+    if (direction == Direction::kEncrypt) {
+      data_cipher_.EncryptBlock(b);
+    } else {
+      data_cipher_.DecryptBlock(b);
+    }
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) b[i] ^= tweak[i];
+    std::memcpy(data.data() + j * kAesBlockSize, b.data(), kAesBlockSize);
+    Gf128MulAlpha(tweak);
+  }
+}
+
+void XtsAes::Encrypt(std::span<std::uint8_t> data, std::uint64_t sector) const {
+  Process(data, sector, Direction::kEncrypt);
+}
+
+void XtsAes::Decrypt(std::span<std::uint8_t> data, std::uint64_t sector) const {
+  Process(data, sector, Direction::kDecrypt);
+}
+
+}  // namespace milr::crypto

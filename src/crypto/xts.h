@@ -1,0 +1,48 @@
+// XTS-AES memory-encryption model (Fig. 1 of the paper).
+//
+// MKTME-style memory encryption applies AES-XTS per 16-byte block with a
+// tweak derived from the block's address: C_j = E_K1(P_j ⊕ T_j) ⊕ T_j with
+// T_j = E_K2(address) ⊗ α^j in GF(2^128).
+//
+// The property MILR cares about: flipping ONE bit of ciphertext block C_j
+// makes E⁻¹ produce an unrelated, uniformly-random-looking 16-byte plaintext
+// block — i.e. a bit error in the ciphertext space becomes a concentrated
+// many-bit error across 4 consecutive float32 weights in the plaintext
+// space, which per-word SECDED cannot correct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.h"
+
+namespace milr::crypto {
+
+/// XTS-AES-128 over a contiguous byte region (length must be a multiple of
+/// 16; weight arrays are padded by the caller if needed).
+class XtsAes {
+ public:
+  XtsAes(const Key128& data_key, const Key128& tweak_key)
+      : data_cipher_(data_key), tweak_cipher_(tweak_key) {}
+
+  /// Encrypts `data` in place. `sector` seeds the tweak (e.g. region id).
+  void Encrypt(std::span<std::uint8_t> data, std::uint64_t sector) const;
+
+  /// Decrypts `data` in place.
+  void Decrypt(std::span<std::uint8_t> data, std::uint64_t sector) const;
+
+ private:
+  enum class Direction { kEncrypt, kDecrypt };
+  void Process(std::span<std::uint8_t> data, std::uint64_t sector,
+               Direction direction) const;
+
+  Aes128 data_cipher_;
+  Aes128 tweak_cipher_;
+};
+
+/// Multiplies a 16-byte value by α (the polynomial x) in GF(2^128) with the
+/// XTS reduction polynomial x^128 + x^7 + x^2 + x + 1. Exposed for tests.
+void Gf128MulAlpha(Block& value);
+
+}  // namespace milr::crypto

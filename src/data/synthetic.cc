@@ -1,0 +1,80 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "support/prng.h"
+
+namespace milr::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+nn::Dataset GenerateSynthetic(const SyntheticSpec& spec, std::size_t count) {
+  Prng prng(spec.seed);
+  nn::Dataset data;
+  data.images.reserve(count);
+  data.labels.reserve(count);
+
+  const std::size_t n = spec.image_size;
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t label = s % spec.num_classes;
+    // Class signature: orientation and spatial frequency.
+    const double theta =
+        kPi * static_cast<double>(label) / static_cast<double>(spec.num_classes);
+    const double freq =
+        0.25 + 0.06 * static_cast<double>(label);
+    // Sample variation.
+    const double phase = prng.NextDouble() * 2.0 * kPi;
+    const double amplitude = 0.6 + 0.4 * prng.NextDouble();
+    const double jitter_x = prng.NextDouble() * 4.0 - 2.0;
+    const double jitter_y = prng.NextDouble() * 4.0 - 2.0;
+    const double cos_t = std::cos(theta);
+    const double sin_t = std::sin(theta);
+
+    Tensor image(Shape{n, n, spec.channels});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double u = cos_t * (static_cast<double>(i) + jitter_y) +
+                         sin_t * (static_cast<double>(j) + jitter_x);
+        const double base = amplitude * std::sin(freq * u + phase);
+        for (std::size_t c = 0; c < spec.channels; ++c) {
+          // For multi-channel images each channel carries a class-dependent
+          // phase shift so color structure is informative too.
+          const double channel_shift =
+              static_cast<double>(c) *
+              (0.5 + static_cast<double>(label) * 0.2);
+          const double value =
+              amplitude * std::sin(freq * u + phase + channel_shift);
+          const double chosen = spec.channels == 1 ? base : value;
+          const double noisy =
+              chosen + prng.NextFloat(-spec.noise, spec.noise);
+          image.at(i, j, c) = static_cast<float>(noisy);
+        }
+      }
+    }
+    data.images.push_back(std::move(image));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+SyntheticSpec MnistLikeSpec() {
+  SyntheticSpec spec;
+  spec.image_size = 28;
+  spec.channels = 1;
+  spec.seed = 11;
+  return spec;
+}
+
+SyntheticSpec CifarLikeSpec() {
+  SyntheticSpec spec;
+  spec.image_size = 32;
+  spec.channels = 3;
+  spec.noise = 0.3f;
+  spec.seed = 13;
+  return spec;
+}
+
+}  // namespace milr::data

@@ -1,0 +1,35 @@
+// Procedural stand-ins for MNIST and CIFAR-10 (see DESIGN.md substitutions).
+//
+// Each of the 10 classes is an oriented sinusoidal grating with a
+// class-specific (orientation, frequency) signature; samples vary by random
+// phase, amplitude, spatial jitter and additive noise. The task is learnable
+// to high accuracy by the paper's architectures yet non-trivial, which is
+// all the fault-injection experiments require: a trained classifier whose
+// accuracy degrades when weights are corrupted and returns when they are
+// recovered. All figures report accuracy *normalized to the error-free
+// model*, exactly as the paper does, so the absolute task is immaterial.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/train.h"
+
+namespace milr::data {
+
+struct SyntheticSpec {
+  std::size_t image_size = 28;   // square side
+  std::size_t channels = 1;      // 1 = MNIST-like, 3 = CIFAR-like
+  std::size_t num_classes = 10;
+  float noise = 0.25f;           // additive uniform noise amplitude
+  std::uint64_t seed = 7;
+};
+
+/// Generates `count` labeled samples (labels round-robin over classes so the
+/// set is balanced, order shuffled by the trainer).
+nn::Dataset GenerateSynthetic(const SyntheticSpec& spec, std::size_t count);
+
+/// Convenience specs matching the paper's two dataset settings.
+SyntheticSpec MnistLikeSpec();
+SyntheticSpec CifarLikeSpec();
+
+}  // namespace milr::data

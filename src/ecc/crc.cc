@@ -1,0 +1,42 @@
+#include "ecc/crc.h"
+
+#include <array>
+#include <cstring>
+
+namespace milr::ecc {
+namespace {
+
+constexpr std::array<std::uint8_t, 256> BuildCrc8Table() {
+  std::array<std::uint8_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint8_t crc = static_cast<std::uint8_t>(i);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                                   : (crc << 1));
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc8Table = BuildCrc8Table();
+
+}  // namespace
+
+std::uint8_t Crc8(std::span<const std::uint8_t> bytes) {
+  std::uint8_t crc = 0;
+  for (const std::uint8_t b : bytes) crc = kCrc8Table[crc ^ b];
+  return crc;
+}
+
+std::uint8_t Crc8OfFloats(std::span<const float> values) {
+  std::uint8_t crc = 0;
+  for (const float v : values) {
+    std::uint8_t raw[sizeof(float)];
+    std::memcpy(raw, &v, sizeof(float));
+    for (const std::uint8_t b : raw) crc = kCrc8Table[crc ^ b];
+  }
+  return crc;
+}
+
+}  // namespace milr::ecc

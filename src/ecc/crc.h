@@ -1,0 +1,18 @@
+// CRC-8 (polynomial 0x07, init 0) over byte spans.
+//
+// Building block for the paper's two-dimensional CRC (Section IV-B) that
+// localizes erroneous weights inside large convolution layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace milr::ecc {
+
+/// CRC-8/SMBUS: poly x^8+x^2+x+1 (0x07), init 0x00, no reflection.
+std::uint8_t Crc8(std::span<const std::uint8_t> bytes);
+
+/// CRC-8 over the raw bytes of a run of float32 values.
+std::uint8_t Crc8OfFloats(std::span<const float> values);
+
+}  // namespace milr::ecc

@@ -1,0 +1,141 @@
+#include "ecc/crc2d.h"
+
+#include <stdexcept>
+
+#include "ecc/crc.h"
+
+namespace milr::ecc {
+namespace {
+
+struct Grid {
+  std::size_t slices;
+  std::size_t rows;
+  std::size_t cols;
+};
+
+Grid GridOf(const Tensor& params) {
+  const Shape& shape = params.shape();
+  if (shape.rank() < 2) {
+    throw std::invalid_argument("Crc2d: tensor must have rank >= 2, got " +
+                                shape.ToString());
+  }
+  Grid g{1, shape[shape.rank() - 2], shape[shape.rank() - 1]};
+  for (std::size_t axis = 0; axis + 2 < shape.rank(); ++axis) {
+    g.slices *= shape[axis];
+  }
+  return g;
+}
+
+std::size_t FlatIndex(const Grid& g, std::size_t s, std::size_t r,
+                      std::size_t c) {
+  return (s * g.rows + r) * g.cols + c;
+}
+
+std::uint8_t RowGroupCrc(const Tensor& params, const Grid& g, std::size_t s,
+                         std::size_t r, std::size_t group_begin,
+                         std::size_t group_len) {
+  // A row group is contiguous in memory.
+  return Crc8OfFloats(std::span<const float>(
+      params.data() + FlatIndex(g, s, r, group_begin), group_len));
+}
+
+std::uint8_t ColGroupCrc(const Tensor& params, const Grid& g, std::size_t s,
+                         std::size_t c, std::size_t group_begin,
+                         std::size_t group_len, std::vector<float>& scratch) {
+  scratch.clear();
+  for (std::size_t r = group_begin; r < group_begin + group_len; ++r) {
+    scratch.push_back(params[FlatIndex(g, s, r, c)]);
+  }
+  return Crc8OfFloats(scratch);
+}
+
+}  // namespace
+
+Crc2dCodes ComputeCrc2d(const Tensor& params, std::size_t group) {
+  if (group == 0) throw std::invalid_argument("Crc2d: group must be >= 1");
+  const Grid g = GridOf(params);
+  Crc2dCodes codes;
+  codes.group = group;
+  codes.slices = g.slices;
+  codes.rows = g.rows;
+  codes.cols = g.cols;
+  const std::size_t row_groups = codes.row_groups();
+  const std::size_t col_groups = codes.col_groups();
+  codes.row_codes.resize(g.slices * g.rows * row_groups);
+  codes.col_codes.resize(g.slices * g.cols * col_groups);
+
+  std::vector<float> scratch;
+  for (std::size_t s = 0; s < g.slices; ++s) {
+    for (std::size_t r = 0; r < g.rows; ++r) {
+      for (std::size_t rg = 0; rg < row_groups; ++rg) {
+        const std::size_t begin = rg * group;
+        const std::size_t len = std::min(group, g.cols - begin);
+        codes.row_codes[(s * g.rows + r) * row_groups + rg] =
+            RowGroupCrc(params, g, s, r, begin, len);
+      }
+    }
+    for (std::size_t c = 0; c < g.cols; ++c) {
+      for (std::size_t cg = 0; cg < col_groups; ++cg) {
+        const std::size_t begin = cg * group;
+        const std::size_t len = std::min(group, g.rows - begin);
+        codes.col_codes[(s * g.cols + c) * col_groups + cg] =
+            ColGroupCrc(params, g, s, c, begin, len, scratch);
+      }
+    }
+  }
+  return codes;
+}
+
+std::vector<std::size_t> LocalizeErrors(const Tensor& params,
+                                        const Crc2dCodes& codes) {
+  const Grid g = GridOf(params);
+  if (g.slices != codes.slices || g.rows != codes.rows ||
+      g.cols != codes.cols) {
+    throw std::invalid_argument("Crc2d: codes were built for another shape");
+  }
+  const std::size_t row_groups = codes.row_groups();
+  const std::size_t col_groups = codes.col_groups();
+  std::vector<std::size_t> errors;
+  std::vector<float> scratch;
+  // Mismatch masks for one slice at a time.
+  std::vector<char> row_bad(g.rows * row_groups);
+  std::vector<char> col_bad(g.cols * col_groups);
+
+  for (std::size_t s = 0; s < g.slices; ++s) {
+    bool any = false;
+    for (std::size_t r = 0; r < g.rows; ++r) {
+      for (std::size_t rg = 0; rg < row_groups; ++rg) {
+        const std::size_t begin = rg * codes.group;
+        const std::size_t len = std::min(codes.group, g.cols - begin);
+        const bool bad =
+            RowGroupCrc(params, g, s, r, begin, len) !=
+            codes.row_codes[(s * g.rows + r) * row_groups + rg];
+        row_bad[r * row_groups + rg] = bad;
+        any = any || bad;
+      }
+    }
+    if (!any) continue;  // whole slice clean; skip the column pass
+    for (std::size_t c = 0; c < g.cols; ++c) {
+      for (std::size_t cg = 0; cg < col_groups; ++cg) {
+        const std::size_t begin = cg * codes.group;
+        const std::size_t len = std::min(codes.group, g.rows - begin);
+        col_bad[c * col_groups + cg] =
+            ColGroupCrc(params, g, s, c, begin, len, scratch) !=
+            codes.col_codes[(s * g.cols + c) * col_groups + cg];
+      }
+    }
+    // A weight is suspected where its row group and column group both fail.
+    for (std::size_t r = 0; r < g.rows; ++r) {
+      const std::size_t cg = r / codes.group;
+      for (std::size_t c = 0; c < g.cols; ++c) {
+        const std::size_t rg = c / codes.group;
+        if (row_bad[r * row_groups + rg] && col_bad[c * col_groups + cg]) {
+          errors.push_back(FlatIndex(g, s, r, c));
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace milr::ecc

@@ -1,0 +1,54 @@
+// Two-dimensional CRC error localization (paper Section IV-B, Fig. 4).
+//
+// Convolution layers whose filters are too large to re-solve in full
+// (G² < F²Z) use "partial recoverability": MILR must know *which* weights are
+// corrupted so the recovery system of equations only contains those unknowns.
+// Following Kim et al.'s two-dimensional error coding, a CRC-8 is kept over
+// every group of 4 parameters horizontally and vertically along the last two
+// axes of the parameter tensor; a weight is flagged erroneous when both its
+// row-group CRC and its column-group CRC mismatch. Encoding along the last
+// two axes spreads false positives across filters (each filter sees at most
+// a few, keeping its system solvable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace milr::ecc {
+
+/// Stored 2-D CRC codes for one parameter tensor. The tensor's last two axes
+/// form the (rows=Z, cols=Y) grid; all leading axes are independent slices
+/// (F² slices for an (F,F,Z,Y) conv filter bank).
+struct Crc2dCodes {
+  std::size_t group = 4;      // parameters per CRC (the paper uses 4)
+  std::size_t slices = 0;     // product of leading axes
+  std::size_t rows = 0;       // second-to-last axis extent
+  std::size_t cols = 0;       // last axis extent
+  // Row codes: one per (slice, row, col-group); col-group-major last.
+  std::vector<std::uint8_t> row_codes;
+  // Column codes: one per (slice, col, row-group).
+  std::vector<std::uint8_t> col_codes;
+
+  std::size_t row_groups() const { return (cols + group - 1) / group; }
+  std::size_t col_groups() const { return (rows + group - 1) / group; }
+
+  /// Bytes of reliable storage the codes occupy.
+  std::size_t SizeBytes() const {
+    return row_codes.size() + col_codes.size();
+  }
+};
+
+/// Computes 2-D CRC codes over `params` (rank ≥ 2).
+Crc2dCodes ComputeCrc2d(const Tensor& params, std::size_t group = 4);
+
+/// Recomputes CRCs over the (possibly corrupted) tensor and intersects
+/// mismatching row/column groups. Returns flat indices into `params` of
+/// weights flagged erroneous (superset of the true error set; may contain
+/// false positives at group intersections).
+std::vector<std::size_t> LocalizeErrors(const Tensor& params,
+                                        const Crc2dCodes& codes);
+
+}  // namespace milr::ecc

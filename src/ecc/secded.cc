@@ -1,0 +1,111 @@
+#include "ecc/secded.h"
+
+#include <array>
+#include <bit>
+
+namespace milr::ecc {
+namespace {
+
+// Codeword layout (classic extended Hamming):
+//   positions 1..38 hold the Hamming code — check bits at the power-of-two
+//   positions {1,2,4,8,16,32}, data bits at the remaining 32 positions —
+//   and one overall-parity bit covers the whole word (SEC -> SECDED).
+constexpr std::array<int, 6> kCheckPositions = {1, 2, 4, 8, 16, 32};
+
+constexpr bool IsPowerOfTwo(int v) { return (v & (v - 1)) == 0; }
+
+// Maps data bit index (0..31) -> codeword position (skipping powers of two).
+constexpr std::array<int, 32> BuildDataPositions() {
+  std::array<int, 32> map{};
+  int data_index = 0;
+  for (int pos = 1; pos <= 38 && data_index < 32; ++pos) {
+    if (!IsPowerOfTwo(pos)) {
+      map[static_cast<std::size_t>(data_index++)] = pos;
+    }
+  }
+  return map;
+}
+
+constexpr std::array<int, 32> kDataPositions = BuildDataPositions();
+
+// Spreads a data word into codeword positions and returns the syndrome the
+// encoder must cancel (XOR of positions holding a 1).
+std::uint32_t DataSyndrome(std::uint32_t data) {
+  std::uint32_t syndrome = 0;
+  for (int i = 0; i < 32; ++i) {
+    if ((data >> i) & 1u) {
+      syndrome ^= static_cast<std::uint32_t>(
+          kDataPositions[static_cast<std::size_t>(i)]);
+    }
+  }
+  return syndrome;
+}
+
+}  // namespace
+
+std::uint8_t SecdedEncode(std::uint32_t data) {
+  const std::uint32_t syndrome = DataSyndrome(data);
+  std::uint8_t check = 0;
+  // Hamming check bit for position 2^k is bit k of the syndrome.
+  for (int k = 0; k < 6; ++k) {
+    if ((syndrome >> k) & 1u) check |= static_cast<std::uint8_t>(1 << k);
+  }
+  // Overall parity across data bits and the six Hamming bits.
+  const int ones =
+      std::popcount(data) + std::popcount(static_cast<unsigned>(check & 0x3f));
+  if (ones & 1) check |= 0x40;
+  return check;
+}
+
+SecdedDecode SecdedDecodeWord(std::uint32_t data, std::uint8_t check) {
+  SecdedDecode result;
+  result.data = data;
+
+  std::uint32_t syndrome = DataSyndrome(data);
+  for (int k = 0; k < 6; ++k) {
+    if ((check >> k) & 1u) {
+      syndrome ^= static_cast<std::uint32_t>(
+          kCheckPositions[static_cast<std::size_t>(k)]);
+    }
+  }
+  const int ones = std::popcount(data) +
+                   std::popcount(static_cast<unsigned>(check & 0x7f));
+  const bool parity_error = (ones & 1) != 0;
+
+  if (syndrome == 0 && !parity_error) {
+    result.outcome = SecdedOutcome::kClean;
+    return result;
+  }
+  if (syndrome == 0 && parity_error) {
+    // The overall-parity bit itself flipped; payload is intact.
+    result.outcome = SecdedOutcome::kCorrectedSingle;
+    return result;
+  }
+  if (parity_error) {
+    // Odd number of errors — decode as single and repair if the syndrome
+    // points at a data position (a >=3-bit error may mis-correct here, by
+    // design of the code).
+    for (int i = 0; i < 32; ++i) {
+      if (static_cast<std::uint32_t>(
+              kDataPositions[static_cast<std::size_t>(i)]) == syndrome) {
+        result.data = data ^ (std::uint32_t{1} << i);
+        result.outcome = SecdedOutcome::kCorrectedSingle;
+        return result;
+      }
+    }
+    // Syndrome points at a check-bit position: payload intact.
+    for (const int pos : kCheckPositions) {
+      if (static_cast<std::uint32_t>(pos) == syndrome) {
+        result.outcome = SecdedOutcome::kCorrectedSingle;
+        return result;
+      }
+    }
+    result.outcome = SecdedOutcome::kDetectedUncorrectable;
+    return result;
+  }
+  // Even number of errors with nonzero syndrome: detected, not correctable.
+  result.outcome = SecdedOutcome::kDetectedUncorrectable;
+  return result;
+}
+
+}  // namespace milr::ecc

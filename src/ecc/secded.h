@@ -1,0 +1,36 @@
+// SECDED Hamming (39,32): the baseline MILR is compared against.
+//
+// Exactly the code the paper describes — 7 check bits per 32-bit word
+// (6 Hamming syndrome bits + 1 overall parity), single-error correction,
+// double-error detection. Three or more bit errors may alias to a "single
+// error" syndrome and mis-correct; that realistic behavior is preserved, it
+// is precisely why ECC fails against plaintext-space block corruption.
+#pragma once
+
+#include <cstdint>
+
+namespace milr::ecc {
+
+/// Outcome of decoding one protected word.
+enum class SecdedOutcome {
+  kClean,                  // no error detected
+  kCorrectedSingle,        // one bit flipped, repaired
+  kDetectedUncorrectable,  // double error detected, data NOT repaired
+};
+
+struct SecdedDecode {
+  SecdedOutcome outcome = SecdedOutcome::kClean;
+  std::uint32_t data = 0;  // possibly corrected payload
+};
+
+/// Number of check bits stored per 32-bit word.
+inline constexpr int kSecdedCheckBits = 7;
+
+/// Computes the 7 check bits for a data word.
+std::uint8_t SecdedEncode(std::uint32_t data);
+
+/// Decodes a (data, check) pair, correcting a single flipped bit in either
+/// the data or the check bits.
+SecdedDecode SecdedDecodeWord(std::uint32_t data, std::uint8_t check);
+
+}  // namespace milr::ecc

@@ -1,0 +1,70 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/parallel.h"
+
+namespace milr {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows * cols) {
+    throw std::invalid_argument("Matrix: data size does not match " +
+                                ShapeString());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+std::string Matrix::ShapeString() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatMul: inner dimensions " + a.ShapeString() +
+                                " vs " + b.ShapeString());
+  }
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = b.cols();
+  const std::size_t k_dim = a.cols();
+  ParallelFor(0, a.rows(), [&](std::size_t r) {
+    const double* arow = a.row(r);
+    double* crow = c.row(r);
+    // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      const double aval = arow[k];
+      if (aval == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }, /*grain=*/8);
+  return c;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("MaxAbsDiff: shape mismatch " +
+                                a.ShapeString() + " vs " + b.ShapeString());
+  }
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.flat()[i] - b.flat()[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace milr

@@ -1,0 +1,45 @@
+#include "memory/ecc_memory.h"
+
+#include "support/bytes.h"
+
+namespace milr::memory {
+
+EccProtectedModel::EccProtectedModel(nn::Model& model) : model_(&model) {
+  checks_.reserve(model.TotalParams());
+  model.ForEachParamLayer([this](std::size_t, nn::Layer& layer) {
+    for (const float value : layer.Params()) {
+      checks_.push_back(ecc::SecdedEncode(FloatBits(value)));
+    }
+  });
+}
+
+ScrubReport EccProtectedModel::Scrub() {
+  ScrubReport report;
+  std::size_t cursor = 0;
+  model_->ForEachParamLayer([this, &report, &cursor](std::size_t,
+                                                     nn::Layer& layer) {
+    for (float& value : layer.Params()) {
+      const auto decode =
+          ecc::SecdedDecodeWord(FloatBits(value), checks_[cursor++]);
+      ++report.words;
+      switch (decode.outcome) {
+        case ecc::SecdedOutcome::kClean:
+          break;
+        case ecc::SecdedOutcome::kCorrectedSingle:
+          value = FloatFromBits(decode.data);
+          ++report.corrected;
+          break;
+        case ecc::SecdedOutcome::kDetectedUncorrectable:
+          ++report.detected_uncorrectable;
+          break;
+      }
+    }
+  });
+  return report;
+}
+
+std::size_t EccProtectedModel::OverheadBytes() const {
+  return (checks_.size() * ecc::kSecdedCheckBits + 7) / 8;
+}
+
+}  // namespace milr::memory

@@ -1,0 +1,45 @@
+// SECDED-protected parameter memory — the paper's ECC baseline.
+//
+// Each 32-bit weight word carries 7 check bits computed at protection time
+// ((39,32) code). Scrub() re-decodes every word: single-bit flips are
+// repaired in place, double-bit flips are detected but left corrupt, and
+// ≥3-bit flips may silently mis-correct — reproducing why ECC collapses on
+// plaintext-space (whole-weight) errors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/secded.h"
+#include "nn/model.h"
+
+namespace milr::memory {
+
+struct ScrubReport {
+  std::size_t words = 0;
+  std::size_t corrected = 0;
+  std::size_t detected_uncorrectable = 0;
+};
+
+class EccProtectedModel {
+ public:
+  /// Computes check bits for every parameter word of `model` as it is now
+  /// (call on the golden network). The model must outlive this object.
+  explicit EccProtectedModel(nn::Model& model);
+
+  /// Decodes every word against its stored check bits, repairing single-bit
+  /// errors in place.
+  ScrubReport Scrub();
+
+  /// ECC storage overhead in bytes: 7 bits per 32-bit word, as the paper
+  /// accounts it (Tables V/VII/IX).
+  std::size_t OverheadBytes() const;
+
+  std::size_t WordCount() const { return checks_.size(); }
+
+ private:
+  nn::Model* model_;
+  std::vector<std::uint8_t> checks_;
+};
+
+}  // namespace milr::memory

@@ -1,0 +1,95 @@
+#include "memory/encrypted_memory.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace milr::memory {
+namespace {
+
+crypto::Key128 DeriveKey(std::uint64_t seed, std::uint64_t which) {
+  Prng prng(DeriveSeed(seed, which));
+  crypto::Key128 key{};
+  for (auto& b : key) {
+    b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  }
+  return key;
+}
+
+}  // namespace
+
+EncryptedParamSpace::EncryptedParamSpace(const nn::Model& model,
+                                         std::uint64_t key_seed)
+    : cipher_(DeriveKey(key_seed, 1), DeriveKey(key_seed, 2)) {
+  // Snapshot and encrypt each parameterized layer as its own sector.
+  auto& mutable_model = const_cast<nn::Model&>(model);
+  mutable_model.ForEachParamLayer([this](std::size_t index, nn::Layer& layer) {
+    const auto params = layer.Params();
+    LayerRegion region;
+    region.layer_index = index;
+    region.byte_offset = bytes_.size();
+    region.param_count = params.size();
+    const std::size_t raw = params.size() * sizeof(float);
+    region.padded_bytes =
+        (raw + crypto::kAesBlockSize - 1) / crypto::kAesBlockSize *
+        crypto::kAesBlockSize;
+    bytes_.resize(bytes_.size() + region.padded_bytes, 0);
+    std::memcpy(bytes_.data() + region.byte_offset, params.data(), raw);
+    regions_.push_back(region);
+  });
+  for (const auto& region : regions_) {
+    cipher_.Encrypt(
+        std::span<std::uint8_t>(bytes_.data() + region.byte_offset,
+                                region.padded_bytes),
+        /*sector=*/region.layer_index);
+  }
+}
+
+std::size_t EncryptedParamSpace::CiphertextBits() const {
+  return bytes_.size() * 8;
+}
+
+void EncryptedParamSpace::FlipCiphertextBit(std::size_t bit_index) {
+  if (bit_index >= CiphertextBits()) {
+    throw std::out_of_range("FlipCiphertextBit: index out of range");
+  }
+  bytes_[bit_index / 8] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+std::size_t EncryptedParamSpace::InjectCiphertextBitFlips(double rber,
+                                                          Prng& prng) {
+  if (rber <= 0.0) return 0;
+  std::size_t flips = 0;
+  const std::size_t total = CiphertextBits();
+  std::size_t pos = 0;
+  while (true) {
+    const double u = prng.NextDouble();
+    const double skip_f = std::floor(std::log1p(-u) / std::log1p(-rber));
+    const std::size_t skip = static_cast<std::size_t>(skip_f) + 1;
+    if (total - pos < skip) break;
+    pos += skip;
+    FlipCiphertextBit(pos - 1);
+    ++flips;
+  }
+  return flips;
+}
+
+void EncryptedParamSpace::DecryptInto(nn::Model& model) const {
+  for (const auto& region : regions_) {
+    std::vector<std::uint8_t> plain(
+        bytes_.begin() + static_cast<std::ptrdiff_t>(region.byte_offset),
+        bytes_.begin() +
+            static_cast<std::ptrdiff_t>(region.byte_offset +
+                                        region.padded_bytes));
+    cipher_.Decrypt(plain, /*sector=*/region.layer_index);
+    auto params = model.layer(region.layer_index).Params();
+    if (params.size() != region.param_count) {
+      throw std::invalid_argument(
+          "DecryptInto: model does not match the encrypted snapshot");
+    }
+    std::memcpy(params.data(), plain.data(),
+                region.param_count * sizeof(float));
+  }
+}
+
+}  // namespace milr::memory

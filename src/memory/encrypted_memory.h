@@ -1,0 +1,57 @@
+// Encrypted-VM parameter memory: weights at rest as XTS-AES ciphertext.
+//
+// Demonstrates the paper's central observation mechanically: a 1-bit error
+// in the *ciphertext* space becomes a ~random 16-byte block (4 consecutive
+// float32 weights) in the *plaintext* space after decryption. SECDED can be
+// attached to either space:
+//   * ciphertext-space ECC sees the single flipped bit and fixes it;
+//   * plaintext-space ECC sees ~16 flipped bits per word and fails,
+// which is exactly the PSEC gap MILR fills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/xts.h"
+#include "nn/model.h"
+#include "support/prng.h"
+
+namespace milr::memory {
+
+class EncryptedParamSpace {
+ public:
+  /// Encrypts a snapshot of the model's parameters (one XTS "sector" per
+  /// parameterized layer). Keys are derived from `key_seed`.
+  EncryptedParamSpace(const nn::Model& model, std::uint64_t key_seed);
+
+  /// Total ciphertext bits (for choosing bit positions to attack).
+  std::size_t CiphertextBits() const;
+
+  /// Flips one ciphertext bit (flat index over all layers' ciphertext).
+  void FlipCiphertextBit(std::size_t bit_index);
+
+  /// Flips each ciphertext bit independently with probability `rber`.
+  std::size_t InjectCiphertextBitFlips(double rber, Prng& prng);
+
+  /// Decrypts the (possibly damaged) ciphertext back into the model's
+  /// parameter tensors — the "plaintext space" the CNN actually executes.
+  void DecryptInto(nn::Model& model) const;
+
+  /// Raw ciphertext access for ciphertext-space ECC experiments.
+  std::vector<std::uint8_t>& ciphertext() { return bytes_; }
+  const std::vector<std::uint8_t>& ciphertext() const { return bytes_; }
+
+ private:
+  struct LayerRegion {
+    std::size_t layer_index;
+    std::size_t byte_offset;   // into bytes_
+    std::size_t param_count;   // floats
+    std::size_t padded_bytes;  // multiple of the AES block size
+  };
+
+  crypto::XtsAes cipher_;
+  std::vector<LayerRegion> regions_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace milr::memory

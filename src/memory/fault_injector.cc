@@ -1,0 +1,143 @@
+#include "memory/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/bytes.h"
+
+namespace milr::memory {
+namespace {
+
+/// Gathers (layer, param span) for every parameterized layer plus global
+/// offsets so a flat index addresses one bit/weight of the whole network.
+struct ParamMap {
+  std::vector<std::size_t> layer_index;
+  std::vector<std::span<float>> spans;
+  std::vector<std::size_t> offsets;  // cumulative weight counts
+  std::size_t total_weights = 0;
+
+  explicit ParamMap(nn::Model& model) {
+    model.ForEachParamLayer([this](std::size_t index, nn::Layer& layer) {
+      layer_index.push_back(index);
+      spans.push_back(layer.Params());
+      offsets.push_back(total_weights);
+      total_weights += layer.ParamCount();
+    });
+  }
+
+  /// Maps a flat weight index to (slot in spans, offset within span).
+  std::pair<std::size_t, std::size_t> Locate(std::size_t weight) const {
+    const auto it =
+        std::upper_bound(offsets.begin(), offsets.end(), weight) - 1;
+    const std::size_t slot = static_cast<std::size_t>(it - offsets.begin());
+    return {slot, weight - offsets[slot]};
+  }
+};
+
+/// Advances a geometric Bernoulli-process skip: returns how many positions
+/// to jump ahead (>= 1) so each position fires with probability p exactly.
+std::size_t GeometricSkip(Prng& prng, double p) {
+  const double u = prng.NextDouble();
+  // skip = floor(log(1-u)/log(1-p)); guard against u==0 and p>=1.
+  if (p >= 1.0) return 1;
+  const double skip = std::floor(std::log1p(-u) / std::log1p(-p));
+  return static_cast<std::size_t>(skip) + 1;
+}
+
+void NoteLayer(InjectionReport& report, std::size_t layer) {
+  if (report.touched_layers.empty() || report.touched_layers.back() != layer) {
+    if (std::find(report.touched_layers.begin(), report.touched_layers.end(),
+                  layer) == report.touched_layers.end()) {
+      report.touched_layers.push_back(layer);
+    }
+  }
+}
+
+}  // namespace
+
+InjectionReport InjectBitFlips(nn::Model& model, double rber, Prng& prng) {
+  InjectionReport report;
+  if (rber <= 0.0) return report;
+  ParamMap map(model);
+  const std::size_t total_bits = map.total_weights * 32;
+  std::size_t pos = 0;
+  std::unordered_set<std::size_t> corrupted;
+  while (true) {
+    const std::size_t skip = GeometricSkip(prng, rber);
+    if (total_bits - pos < skip) break;
+    pos += skip;
+    const std::size_t bit_index = pos - 1;
+    const std::size_t weight = bit_index / 32;
+    const int bit = static_cast<int>(bit_index % 32);
+    const auto [slot, offset] = map.Locate(weight);
+    float& value = map.spans[slot][offset];
+    value = FlipFloatBit(value, bit);
+    ++report.flipped_bits;
+    if (corrupted.insert(weight).second) ++report.corrupted_weights;
+    NoteLayer(report, map.layer_index[slot]);
+  }
+  std::sort(report.touched_layers.begin(), report.touched_layers.end());
+  return report;
+}
+
+InjectionReport InjectWholeWeightErrors(nn::Model& model, double q,
+                                        Prng& prng) {
+  InjectionReport report;
+  if (q <= 0.0) return report;
+  ParamMap map(model);
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t skip = GeometricSkip(prng, q);
+    if (map.total_weights - pos < skip) break;
+    pos += skip;
+    const std::size_t weight = pos - 1;
+    const auto [slot, offset] = map.Locate(weight);
+    float& value = map.spans[slot][offset];
+    value = FloatFromBits(FloatBits(value) ^ 0xffffffffu);
+    report.flipped_bits += 32;
+    ++report.corrupted_weights;
+    NoteLayer(report, map.layer_index[slot]);
+  }
+  std::sort(report.touched_layers.begin(), report.touched_layers.end());
+  return report;
+}
+
+InjectionReport CorruptWholeLayer(nn::Model& model, std::size_t layer_index,
+                                  Prng& prng) {
+  InjectionReport report;
+  auto params = model.layer(layer_index).Params();
+  if (params.empty()) return report;
+  for (auto& value : params) {
+    float replacement = prng.NextFloat(-1.0f, 1.0f);
+    while (replacement == value) replacement = prng.NextFloat(-1.0f, 1.0f);
+    value = replacement;
+    ++report.corrupted_weights;
+  }
+  report.flipped_bits = report.corrupted_weights * 32;  // nominal
+  report.touched_layers.push_back(layer_index);
+  return report;
+}
+
+InjectionReport InjectExactWeightErrors(nn::Model& model, std::size_t count,
+                                        Prng& prng) {
+  InjectionReport report;
+  ParamMap map(model);
+  if (map.total_weights == 0) return report;
+  count = std::min(count, map.total_weights);
+  std::unordered_set<std::size_t> chosen;
+  while (chosen.size() < count) {
+    const std::size_t weight = prng.NextBelow(map.total_weights);
+    if (!chosen.insert(weight).second) continue;
+    const auto [slot, offset] = map.Locate(weight);
+    float& value = map.spans[slot][offset];
+    value = FloatFromBits(FloatBits(value) ^ 0xffffffffu);
+    report.flipped_bits += 32;
+    ++report.corrupted_weights;
+    NoteLayer(report, map.layer_index[slot]);
+  }
+  std::sort(report.touched_layers.begin(), report.touched_layers.end());
+  return report;
+}
+
+}  // namespace milr::memory

@@ -1,0 +1,45 @@
+// Fault injection over a model's parameter memory — the paper's three
+// experiment classes (Section V-A):
+//   (1) random bit flips with probability p per bit          (RBER)
+//   (2) whole-weight errors: all 32 bits of a weight flipped with prob. q
+//   (3) whole-layer corruption: every parameter replaced by a random value
+//
+// (1) models DRAM soft errors in unencrypted memory; (2) approximates the
+// plaintext-space damage of ciphertext bit errors under AES-XTS; (3) models
+// an aggressive overwrite attack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "support/prng.h"
+
+namespace milr::memory {
+
+struct InjectionReport {
+  std::size_t flipped_bits = 0;
+  std::size_t corrupted_weights = 0;
+  std::vector<std::size_t> touched_layers;  // model layer indices, ascending
+};
+
+/// Experiment (1): flips each bit of every float32 parameter independently
+/// with probability `rber`. Uses exact geometric skipping so sparse rates
+/// cost O(#flips), not O(#bits).
+InjectionReport InjectBitFlips(nn::Model& model, double rber, Prng& prng);
+
+/// Experiment (2): with probability `q` per weight, flips all 32 bits.
+InjectionReport InjectWholeWeightErrors(nn::Model& model, double q,
+                                        Prng& prng);
+
+/// Experiment (3): replaces every parameter of layer `layer_index` with a
+/// fresh random value guaranteed to differ from the original.
+InjectionReport CorruptWholeLayer(nn::Model& model, std::size_t layer_index,
+                                  Prng& prng);
+
+/// Flips exactly `count` distinct randomly-chosen weights (all 32 bits each).
+/// Used by the recovery-time experiment (Fig. 11).
+InjectionReport InjectExactWeightErrors(nn::Model& model, std::size_t count,
+                                        Prng& prng);
+
+}  // namespace milr::memory

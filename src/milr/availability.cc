@@ -1,0 +1,101 @@
+#include "milr/availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace milr::core {
+
+RecoveryTimeModel RecoveryTimeModel::Fit(const std::vector<double>& errors,
+                                         const std::vector<double>& seconds) {
+  if (errors.size() != seconds.size() || errors.size() < 3) {
+    throw std::invalid_argument(
+        "RecoveryTimeModel::Fit: need >= 3 matching points");
+  }
+  Matrix a(errors.size(), 3);
+  Matrix b(errors.size(), 1);
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    a.at(i, 0) = 1.0;
+    a.at(i, 1) = errors[i];
+    a.at(i, 2) = errors[i] * errors[i];
+    b.at(i, 0) = seconds[i];
+  }
+  auto solved = SolveLeastSquares(a, b);
+  if (!solved.ok()) {
+    throw std::runtime_error("RecoveryTimeModel::Fit: " +
+                             solved.status().ToString());
+  }
+  RecoveryTimeModel model;
+  model.base_seconds = solved.value().at(0, 0);
+  model.per_error_seconds = solved.value().at(1, 0);
+  model.per_error_sq_seconds = solved.value().at(2, 0);
+  return model;
+}
+
+double ErrorsPerHour(std::size_t param_count, double fit_per_mbit) {
+  const double mbits =
+      static_cast<double>(param_count) * 32.0 / 1.0e6;
+  // FIT = events per 1e9 device-hours per Mbit.
+  return fit_per_mbit * 1.0e-9 * mbits;
+}
+
+std::vector<TradeoffPoint> AvailabilityAccuracyCurve(
+    const AvailabilityParams& params, double min_cycle_s, double max_cycle_s,
+    std::size_t points) {
+  if (min_cycle_s <= 0.0 || max_cycle_s <= min_cycle_s || points < 2) {
+    throw std::invalid_argument("AvailabilityAccuracyCurve: bad sweep range");
+  }
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(points);
+  const double log_min = std::log(min_cycle_s);
+  const double log_max = std::log(max_cycle_s);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = std::exp(log_min + (log_max - log_min) *
+                                            static_cast<double>(i) /
+                                            static_cast<double>(points - 1));
+    const double errors = t / params.time_between_errors_s;
+    // The fitted quadratic Tr(n) can dip below zero for tiny n; clamp —
+    // repair can't add uptime.
+    const double overhead = std::max(
+        0.0, params.detection_seconds * params.detections_per_cycle +
+                 params.recovery.Seconds(errors));
+    TradeoffPoint point;
+    point.cycle_seconds = t;
+    point.availability = std::clamp(1.0 - overhead / t, 0.0, 1.0);
+    point.min_accuracy =
+        std::max(0.0, 1.0 - errors * params.accuracy_loss_per_error);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double BestAvailabilityAtAccuracy(const AvailabilityParams& params,
+                                  double accuracy_floor, double min_cycle_s,
+                                  double max_cycle_s) {
+  double best = 0.0;
+  for (const auto& point :
+       AvailabilityAccuracyCurve(params, min_cycle_s, max_cycle_s, 512)) {
+    if (point.min_accuracy >= accuracy_floor) {
+      best = std::max(best, point.availability);
+    }
+  }
+  return best;
+}
+
+double BestAccuracyAtAvailability(const AvailabilityParams& params,
+                                  double availability_floor,
+                                  double min_cycle_s, double max_cycle_s) {
+  double best = 0.0;
+  for (const auto& point :
+       AvailabilityAccuracyCurve(params, min_cycle_s, max_cycle_s, 512)) {
+    if (point.availability >= availability_floor) {
+      best = std::max(best, point.min_accuracy);
+    }
+  }
+  return best;
+}
+
+}  // namespace milr::core

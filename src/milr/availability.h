@@ -1,0 +1,78 @@
+// Availability / accuracy trade-off model (Section V-E, equation 6, Fig. 12).
+//
+// The paper's formulation: availability is lost to detection runs (Td each,
+// I runs per error interval) and to recovery (Tr); accuracy is lost to
+// errors that accumulate while the system is *not* recovering. With a DRAM
+// field-failure rate (FIT) and the network's size one obtains the mean time
+// between errors Tbe, and sweeping the repair cadence traces the curve of
+// Fig. 12: repair often → high minimum accuracy, lower availability; repair
+// rarely → the reverse.
+//
+// Concretely, for a repair cycle of length T seconds:
+//   errors accumulated per cycle  n(T)   = T / Tbe
+//   availability(T)               = 1 − (Td·I + Tr(n)) / T
+//   minimum accuracy(T)           = A(n)  (linear degradation model, as the
+//                                   paper assumes: A(n) = 1 − n·slope)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace milr::core {
+
+/// Quadratic recovery-time model Tr(n) fitted to measured (errors, seconds)
+/// points from the Fig. 11 experiment.
+struct RecoveryTimeModel {
+  double base_seconds = 0.0;
+  double per_error_seconds = 0.0;
+  double per_error_sq_seconds = 0.0;
+
+  double Seconds(double errors) const {
+    return base_seconds + per_error_seconds * errors +
+           per_error_sq_seconds * errors * errors;
+  }
+
+  /// Least-squares quadratic fit; needs >= 3 points.
+  static RecoveryTimeModel Fit(const std::vector<double>& errors,
+                               const std::vector<double>& seconds);
+};
+
+/// Mean errors/hour for a network of `param_count` float32 weights under a
+/// DRAM failure rate of `fit_per_mbit` FIT/Mbit (the paper uses the field
+/// worst case of 75,000 FIT/Mbit from Schroeder et al.).
+double ErrorsPerHour(std::size_t param_count, double fit_per_mbit = 75000.0);
+
+struct AvailabilityParams {
+  double detection_seconds = 0.0;       // Td (measured, Table X)
+  double detections_per_cycle = 2.0;    // I (paper: detection runs twice)
+  double time_between_errors_s = 0.0;   // Tbe = 3600 / ErrorsPerHour
+  RecoveryTimeModel recovery;           // Tr(n) (measured, Fig. 11)
+  /// Accuracy lost per accumulated error (linear model A(n) = 1 − n·slope).
+  double accuracy_loss_per_error = 1e-5;
+};
+
+struct TradeoffPoint {
+  double cycle_seconds = 0.0;
+  double availability = 0.0;
+  double min_accuracy = 0.0;
+};
+
+/// Sweeps the repair cycle length over [min_cycle, max_cycle] (log-spaced,
+/// `points` samples) and returns the availability / minimum-accuracy curve.
+std::vector<TradeoffPoint> AvailabilityAccuracyCurve(
+    const AvailabilityParams& params, double min_cycle_s, double max_cycle_s,
+    std::size_t points);
+
+/// Fig. 12 user A: the best availability achievable subject to a minimum
+/// accuracy floor. Returns 0 if the floor is unreachable.
+double BestAvailabilityAtAccuracy(const AvailabilityParams& params,
+                                  double accuracy_floor, double min_cycle_s,
+                                  double max_cycle_s);
+
+/// Fig. 12 user B: the best minimum accuracy subject to an availability
+/// floor. Returns 0 if the floor is unreachable.
+double BestAccuracyAtAvailability(const AvailabilityParams& params,
+                                  double availability_floor,
+                                  double min_cycle_s, double max_cycle_s);
+
+}  // namespace milr::core

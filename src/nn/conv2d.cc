@@ -1,0 +1,183 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+
+namespace milr::nn {
+
+Conv2DLayer::Conv2DLayer(std::size_t filter_size, std::size_t in_channels,
+                         std::size_t out_channels, Padding padding)
+    : filter_size_(filter_size),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      padding_(padding),
+      filters_(Shape{filter_size, filter_size, in_channels, out_channels}) {
+  if (filter_size == 0 || in_channels == 0 || out_channels == 0) {
+    throw std::invalid_argument("Conv2DLayer: all dimensions must be >= 1");
+  }
+  if (padding == Padding::kSame && filter_size % 2 == 0) {
+    throw std::invalid_argument(
+        "Conv2DLayer: same padding requires an odd filter size");
+  }
+}
+
+std::size_t Conv2DLayer::pad() const {
+  return padding_ == Padding::kSame ? (filter_size_ - 1) / 2 : 0;
+}
+
+std::size_t Conv2DLayer::OutputExtent(std::size_t input_extent) const {
+  // G = M - F + 2P + 1 with stride 1.
+  const std::size_t padded = input_extent + 2 * pad();
+  if (padded < filter_size_) {
+    throw std::invalid_argument("Conv2DLayer: input smaller than filter");
+  }
+  return padded - filter_size_ + 1;
+}
+
+void Conv2DLayer::CheckInput(const Shape& input) const {
+  if (input.rank() != 3 || input[0] != input[1] ||
+      input[2] != in_channels_) {
+    throw std::invalid_argument("Conv2DLayer(" + std::to_string(filter_size_) +
+                                "x" + std::to_string(filter_size_) + "x" +
+                                std::to_string(in_channels_) + "->" +
+                                std::to_string(out_channels_) +
+                                "): incompatible input " + input.ToString());
+  }
+}
+
+Shape Conv2DLayer::OutputShape(const Shape& input) const {
+  CheckInput(input);
+  const std::size_t g = OutputExtent(input[0]);
+  return Shape{g, g, out_channels_};
+}
+
+Tensor Conv2DLayer::BuildPatchMatrix(const Tensor& input) const {
+  CheckInput(input.shape());
+  const std::size_t m = input.shape()[0];
+  const std::size_t g = OutputExtent(m);
+  const std::size_t f = filter_size_;
+  const std::size_t z = in_channels_;
+  const std::size_t p = pad();
+  Tensor patches(Shape{g * g, f * f * z});
+  float* out = patches.data();
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      float* row = out + (i * g + j) * (f * f * z);
+      for (std::size_t f1 = 0; f1 < f; ++f1) {
+        // Input row index with padding offset; skip out-of-bounds (zeros).
+        const std::ptrdiff_t r =
+            static_cast<std::ptrdiff_t>(i + f1) - static_cast<std::ptrdiff_t>(p);
+        for (std::size_t f2 = 0; f2 < f; ++f2) {
+          const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(j + f2) -
+                                   static_cast<std::ptrdiff_t>(p);
+          float* cell = row + (f1 * f + f2) * z;
+          if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(m) ||
+              c >= static_cast<std::ptrdiff_t>(m)) {
+            continue;  // zero padding (tensor starts zero-filled)
+          }
+          const float* src =
+              input.data() + input.Offset3(static_cast<std::size_t>(r),
+                                           static_cast<std::size_t>(c), 0);
+          for (std::size_t ch = 0; ch < z; ++ch) cell[ch] = src[ch];
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+Tensor Conv2DLayer::ScatterPatchesToInput(const Tensor& patches,
+                                          std::size_t input_extent) const {
+  const std::size_t m = input_extent;
+  const std::size_t g = OutputExtent(m);
+  const std::size_t f = filter_size_;
+  const std::size_t z = in_channels_;
+  const std::size_t p = pad();
+  if (patches.shape().rank() != 2 || patches.shape()[0] != g * g ||
+      patches.shape()[1] != f * f * z) {
+    throw std::invalid_argument("ScatterPatchesToInput: patch shape " +
+                                patches.shape().ToString() + " mismatch");
+  }
+  Tensor input(Shape{m, m, z});
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const float* row = patches.data() + (i * g + j) * (f * f * z);
+      for (std::size_t f1 = 0; f1 < f; ++f1) {
+        const std::ptrdiff_t r =
+            static_cast<std::ptrdiff_t>(i + f1) - static_cast<std::ptrdiff_t>(p);
+        for (std::size_t f2 = 0; f2 < f; ++f2) {
+          const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(j + f2) -
+                                   static_cast<std::ptrdiff_t>(p);
+          if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(m) ||
+              c >= static_cast<std::ptrdiff_t>(m)) {
+            continue;
+          }
+          const float* cell = row + (f1 * f + f2) * z;
+          float* dst = input.data() + input.Offset3(static_cast<std::size_t>(r),
+                                                    static_cast<std::size_t>(c),
+                                                    0);
+          for (std::size_t ch = 0; ch < z; ++ch) dst[ch] = cell[ch];
+        }
+      }
+    }
+  }
+  return input;
+}
+
+Tensor Conv2DLayer::Forward(const Tensor& input) const {
+  CheckInput(input.shape());
+  const std::size_t g = OutputExtent(input.shape()[0]);
+  const Tensor patches = BuildPatchMatrix(input);
+  Tensor out(Shape{g, g, out_channels_});
+  GemmAccumulate(patches.data(), filters_.data(), out.data(), g * g,
+                 PatchLength(), out_channels_);
+  return out;
+}
+
+Tensor Conv2DLayer::Backward(const Tensor& x, const Tensor& /*y*/,
+                             const Tensor& dy,
+                             std::span<float> dparams) const {
+  CheckInput(x.shape());
+  const std::size_t m = x.shape()[0];
+  const std::size_t g = OutputExtent(m);
+  const std::size_t patch_len = PatchLength();
+  if (dparams.size() != filters_.size()) {
+    throw std::invalid_argument("Conv2DLayer::Backward: dparams size");
+  }
+  const Tensor patches = BuildPatchMatrix(x);
+  // dW(F²Z,Y) += Patchesᵀ(F²Z,G²) · dOut(G²,Y).
+  GemmTransposedAAccumulate(patches.data(), dy.data(), dparams.data(),
+                            patch_len, g * g, out_channels_);
+  // dPatches(G²,F²Z) = dOut(G²,Y) · Wᵀ(Y,F²Z).
+  Tensor dpatches(Shape{g * g, patch_len});
+  GemmTransposedBAccumulate(dy.data(), filters_.data(), dpatches.data(),
+                            g * g, out_channels_, patch_len);
+  // col2im with accumulation over overlapping patches.
+  Tensor dx(x.shape());
+  const std::size_t f = filter_size_;
+  const std::size_t z = in_channels_;
+  const std::size_t p = pad();
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const float* row = dpatches.data() + (i * g + j) * patch_len;
+      for (std::size_t f1 = 0; f1 < f; ++f1) {
+        const std::ptrdiff_t r =
+            static_cast<std::ptrdiff_t>(i + f1) - static_cast<std::ptrdiff_t>(p);
+        if (r < 0 || r >= static_cast<std::ptrdiff_t>(m)) continue;
+        for (std::size_t f2 = 0; f2 < f; ++f2) {
+          const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(j + f2) -
+                                   static_cast<std::ptrdiff_t>(p);
+          if (c < 0 || c >= static_cast<std::ptrdiff_t>(m)) continue;
+          const float* cell = row + (f1 * f + f2) * z;
+          float* dst = dx.data() + dx.Offset3(static_cast<std::size_t>(r),
+                                              static_cast<std::size_t>(c), 0);
+          for (std::size_t ch = 0; ch < z; ++ch) dst[ch] += cell[ch];
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace milr::nn

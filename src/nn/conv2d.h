@@ -1,0 +1,77 @@
+// 2-D convolution layer (stride 1, valid or same padding).
+//
+// Implemented in im2col form because MILR's recovery math *is* the im2col
+// form: Out(G²,Y) = Patches(G²,F²Z) · W(F²Z,Y)  (equation 4 of the paper).
+//  * parameter solving — solve the linear system for W given golden
+//    Patches/Out (needs G² ≥ F²Z, else partial recoverability);
+//  * backward pass — solve for Patches given Out and W (needs Y ≥ F²Z,
+//    else dummy filters), then stitch patches back into the input.
+// BuildPatchMatrix / ScatterPatchesToInput are public for exactly that use.
+#pragma once
+
+#include <span>
+
+#include "nn/layer.h"
+
+namespace milr::nn {
+
+enum class Padding { kValid, kSame };
+
+class Conv2DLayer final : public Layer {
+ public:
+  /// Filters are (F,F,Z,Y): F×F spatial, Z input channels, Y filters.
+  /// Only odd F is supported for kSame padding. Stride is 1 (all networks
+  /// in the paper's evaluation are stride-1).
+  Conv2DLayer(std::size_t filter_size, std::size_t in_channels,
+              std::size_t out_channels, Padding padding);
+
+  LayerKind kind() const override { return LayerKind::kConv2D; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+  std::span<float> Params() override { return filters_.flat(); }
+  std::span<const float> Params() const override { return filters_.flat(); }
+
+  std::size_t filter_size() const { return filter_size_; }    // F
+  std::size_t in_channels() const { return in_channels_; }    // Z
+  std::size_t out_channels() const { return out_channels_; }  // Y
+  Padding padding() const { return padding_; }
+
+  /// Spatial padding applied on each side (0 for kValid, (F-1)/2 for kSame).
+  std::size_t pad() const;
+
+  /// Output spatial extent G for a square input of extent M.
+  std::size_t OutputExtent(std::size_t input_extent) const;
+
+  const Tensor& filters() const { return filters_; }
+  Tensor& filters() { return filters_; }
+
+  /// Patch-matrix length F²Z — the number of unknowns per filter.
+  std::size_t PatchLength() const {
+    return filter_size_ * filter_size_ * in_channels_;
+  }
+
+  /// im2col: builds the (G², F²Z) patch matrix for an (M,M,Z) input.
+  /// Row (i·G+j) holds the input sub-region under output pixel (i,j), in
+  /// (f1, f2, z) order matching the filters' flat layout.
+  Tensor BuildPatchMatrix(const Tensor& input) const;
+
+  /// Inverse of BuildPatchMatrix: writes patch rows back into an (M,M,Z)
+  /// input. Overlapping patch cells must agree; the value written last wins
+  /// (used by MILR's backward pass, where the patch solutions are exact up
+  /// to rounding). `input_extent` is M.
+  Tensor ScatterPatchesToInput(const Tensor& patches,
+                               std::size_t input_extent) const;
+
+ private:
+  void CheckInput(const Shape& input) const;
+
+  std::size_t filter_size_;
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  Padding padding_;
+  Tensor filters_;  // (F,F,Z,Y)
+};
+
+}  // namespace milr::nn

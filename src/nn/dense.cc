@@ -1,0 +1,77 @@
+#include "nn/dense.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+#include "support/parallel.h"
+
+namespace milr::nn {
+
+DenseLayer::DenseLayer(std::size_t in_features, std::size_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_(Shape{in_features, out_features}) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("DenseLayer: features must be >= 1");
+  }
+}
+
+void DenseLayer::CheckInput(const Shape& input) const {
+  const bool ok =
+      (input.rank() == 1 && input[0] == in_features_) ||
+      (input.rank() == 2 && input[1] == in_features_);
+  if (!ok) {
+    throw std::invalid_argument("DenseLayer(" + std::to_string(in_features_) +
+                                "->" + std::to_string(out_features_) +
+                                "): incompatible input " + input.ToString());
+  }
+}
+
+Shape DenseLayer::OutputShape(const Shape& input) const {
+  CheckInput(input);
+  if (input.rank() == 1) return Shape{out_features_};
+  return Shape{input[0], out_features_};
+}
+
+Tensor DenseLayer::Forward(const Tensor& input) const {
+  CheckInput(input.shape());
+  const std::size_t rows = input.shape().rank() == 1 ? 1 : input.shape()[0];
+  Tensor out(OutputShape(input.shape()));
+  if (rows < 32) {
+    GemmAccumulate(input.data(), weights_.data(), out.data(), rows,
+                   in_features_, out_features_);
+  } else {
+    // Large batches appear on MILR's initialization path (golden outputs of
+    // thousands of PRNG rows) — parallelize across row blocks. Nested calls
+    // (training shards) degrade gracefully to the serial loop.
+    constexpr std::size_t kBlock = 16;
+    const std::size_t blocks = (rows + kBlock - 1) / kBlock;
+    ParallelFor(0, blocks, [&](std::size_t b) {
+      const std::size_t begin = b * kBlock;
+      const std::size_t count = std::min(kBlock, rows - begin);
+      GemmAccumulate(input.data() + begin * in_features_, weights_.data(),
+                     out.data() + begin * out_features_, count, in_features_,
+                     out_features_);
+    });
+  }
+  return out;
+}
+
+Tensor DenseLayer::Backward(const Tensor& x, const Tensor& /*y*/,
+                            const Tensor& dy, std::span<float> dparams) const {
+  CheckInput(x.shape());
+  if (dparams.size() != weights_.size()) {
+    throw std::invalid_argument("DenseLayer::Backward: dparams size");
+  }
+  const std::size_t rows = x.shape().rank() == 1 ? 1 : x.shape()[0];
+  // dW(N,P) += xᵀ(N,M)·dy(M,P).
+  GemmTransposedAAccumulate(x.data(), dy.data(), dparams.data(), in_features_,
+                            rows, out_features_);
+  // dx(M,N) = dy(M,P)·Wᵀ(P,N).
+  Tensor dx(x.shape());
+  GemmTransposedBAccumulate(dy.data(), weights_.data(), dx.data(), rows,
+                            out_features_, in_features_);
+  return dx;
+}
+
+}  // namespace milr::nn

@@ -1,0 +1,42 @@
+// Fully-connected (dense) layer: C(M,P) = A(M,N) · B(N,P).
+//
+// Accepts a rank-1 input (a single sample, M = 1) or a rank-2 batch —
+// MILR's parameter solving runs the same layer over an (N,N) system of
+// PRNG rows (Section IV-A of the paper).
+#pragma once
+
+#include <span>
+
+#include "nn/layer.h"
+
+namespace milr::nn {
+
+class DenseLayer final : public Layer {
+ public:
+  /// Weights are (N = in_features, P = out_features), no bias (bias is a
+  /// separate BiasLayer, matching the paper's layer decomposition).
+  DenseLayer(std::size_t in_features, std::size_t out_features);
+
+  LayerKind kind() const override { return LayerKind::kDense; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+  std::span<float> Params() override { return weights_.flat(); }
+  std::span<const float> Params() const override { return weights_.flat(); }
+
+  std::size_t in_features() const { return in_features_; }    // N
+  std::size_t out_features() const { return out_features_; }  // P
+
+  const Tensor& weights() const { return weights_; }
+  Tensor& weights() { return weights_; }
+
+ private:
+  void CheckInput(const Shape& input) const;
+
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weights_;  // (N,P)
+};
+
+}  // namespace milr::nn

@@ -1,0 +1,58 @@
+// Minimal row-major float GEMM used by conv (im2col) and dense layers.
+//
+// Serial on purpose: the training loop parallelizes across samples and the
+// recovery engine across filters; nesting thread pools would oversubscribe.
+#pragma once
+
+#include <cstddef>
+
+namespace milr::nn {
+
+/// C(m,n) += A(m,k) · B(k,n), all row-major contiguous.
+inline void GemmAccumulate(const float* a, const float* b, float* c,
+                           std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aval = arow[p];
+      if (aval == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+/// C(m,n) += Aᵀ(m,k)·B(k,n) where A is stored as (k,m) row-major.
+inline void GemmTransposedAAccumulate(const float* a, const float* b, float* c,
+                                      std::size_t m, std::size_t k,
+                                      std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+/// C(m,n) += A(m,k)·Bᵀ(k,n) where B is stored as (n,k) row-major.
+inline void GemmTransposedBAccumulate(const float* a, const float* b, float* c,
+                                      std::size_t m, std::size_t k,
+                                      std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace milr::nn

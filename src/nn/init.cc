@@ -1,0 +1,35 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "support/prng.h"
+
+namespace milr::nn {
+
+void InitHeUniform(Model& model, std::uint64_t seed) {
+  Prng prng(seed);
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    Layer& layer = model.layer(i);
+    auto params = layer.Params();
+    if (params.empty()) continue;
+    std::size_t fan_in = 0;
+    switch (layer.kind()) {
+      case LayerKind::kConv2D:
+        fan_in = static_cast<Conv2DLayer&>(layer).PatchLength();
+        break;
+      case LayerKind::kDense:
+        fan_in = static_cast<DenseLayer&>(layer).in_features();
+        break;
+      case LayerKind::kBias:
+        for (auto& p : params) p = 0.0f;
+        continue;
+      default:
+        fan_in = params.size();
+        break;
+    }
+    const float limit = std::sqrt(6.0f / static_cast<float>(fan_in));
+    for (auto& p : params) p = prng.NextFloat(-limit, limit);
+  }
+}
+
+}  // namespace milr::nn

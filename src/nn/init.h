@@ -1,0 +1,14 @@
+// Weight initialization (He-uniform) for training the evaluation networks.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.h"
+
+namespace milr::nn {
+
+/// He-uniform initialization of every conv/dense layer; biases start at 0.
+/// Deterministic given `seed`.
+void InitHeUniform(Model& model, std::uint64_t seed);
+
+}  // namespace milr::nn

@@ -1,0 +1,148 @@
+#include "nn/layer.h"
+
+#include <stdexcept>
+
+namespace milr::nn {
+
+const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2D: return "conv2d";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kBias: return "bias";
+    case LayerKind::kReLU: return "relu";
+    case LayerKind::kMaxPool2D: return "maxpool2d";
+    case LayerKind::kAvgPool2D: return "avgpool2d";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kDropout: return "dropout";
+    case LayerKind::kZeroPad2D: return "zeropad2d";
+  }
+  return "unknown";
+}
+
+ZeroPad2DLayer::ZeroPad2DLayer(std::size_t pad) : pad_(pad) {
+  if (pad == 0) {
+    throw std::invalid_argument("ZeroPad2DLayer: pad must be >= 1");
+  }
+}
+
+Shape ZeroPad2DLayer::OutputShape(const Shape& input) const {
+  if (input.rank() != 3 || input[0] != input[1]) {
+    throw std::invalid_argument("ZeroPad2DLayer: incompatible input " +
+                                input.ToString());
+  }
+  return Shape{input[0] + 2 * pad_, input[1] + 2 * pad_, input[2]};
+}
+
+Tensor ZeroPad2DLayer::Forward(const Tensor& input) const {
+  Tensor out(OutputShape(input.shape()));
+  const std::size_t m = input.shape()[0];
+  const std::size_t c = input.shape()[2];
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* src = input.data() + input.Offset3(i, j, 0);
+      float* dst = out.data() + out.Offset3(i + pad_, j + pad_, 0);
+      for (std::size_t ch = 0; ch < c; ++ch) dst[ch] = src[ch];
+    }
+  }
+  return out;
+}
+
+Tensor ZeroPad2DLayer::Crop(const Tensor& output) const {
+  const Shape& shape = output.shape();
+  if (shape.rank() != 3 || shape[0] != shape[1] || shape[0] <= 2 * pad_) {
+    throw std::invalid_argument("ZeroPad2DLayer::Crop: incompatible output " +
+                                shape.ToString());
+  }
+  const std::size_t m = shape[0] - 2 * pad_;
+  const std::size_t c = shape[2];
+  Tensor input(Shape{m, m, c});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* src = output.data() + output.Offset3(i + pad_, j + pad_, 0);
+      float* dst = input.data() + input.Offset3(i, j, 0);
+      for (std::size_t ch = 0; ch < c; ++ch) dst[ch] = src[ch];
+    }
+  }
+  return input;
+}
+
+Tensor ZeroPad2DLayer::Backward(const Tensor& /*x*/, const Tensor& /*y*/,
+                                const Tensor& dy,
+                                std::span<float> /*dparams*/) const {
+  return Crop(dy);
+}
+
+Tensor ReLULayer::Forward(const Tensor& input) const {
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLULayer::Backward(const Tensor& x, const Tensor& /*y*/,
+                           const Tensor& dy,
+                           std::span<float> /*dparams*/) const {
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (x[i] <= 0.0f) dx[i] = 0.0f;
+  }
+  return dx;
+}
+
+Shape FlattenLayer::OutputShape(const Shape& input) const {
+  return Shape{input.NumElements()};
+}
+
+Tensor FlattenLayer::Forward(const Tensor& input) const {
+  return input.Reshaped(Shape{input.size()});
+}
+
+Tensor FlattenLayer::Backward(const Tensor& x, const Tensor& /*y*/,
+                              const Tensor& dy,
+                              std::span<float> /*dparams*/) const {
+  return dy.Reshaped(x.shape());
+}
+
+BiasLayer::BiasLayer(std::size_t channels) : bias_(Shape{channels}) {
+  if (channels == 0) {
+    throw std::invalid_argument("BiasLayer: channels must be >= 1");
+  }
+}
+
+void BiasLayer::CheckShape(const Shape& input) const {
+  if (input.rank() == 0 || input[input.rank() - 1] != bias_.size()) {
+    throw std::invalid_argument("BiasLayer(" + std::to_string(bias_.size()) +
+                                "): incompatible input " + input.ToString());
+  }
+}
+
+Shape BiasLayer::OutputShape(const Shape& input) const {
+  CheckShape(input);
+  return input;
+}
+
+Tensor BiasLayer::Forward(const Tensor& input) const {
+  CheckShape(input.shape());
+  Tensor out = input;
+  const std::size_t channels = bias_.size();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] += bias_[i % channels];
+  }
+  return out;
+}
+
+Tensor BiasLayer::Backward(const Tensor& x, const Tensor& /*y*/,
+                           const Tensor& dy, std::span<float> dparams) const {
+  CheckShape(x.shape());
+  const std::size_t channels = bias_.size();
+  if (dparams.size() != channels) {
+    throw std::invalid_argument("BiasLayer::Backward: dparams size mismatch");
+  }
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dparams[i % channels] += dy[i];
+  }
+  return dy;
+}
+
+}  // namespace milr::nn

@@ -1,0 +1,161 @@
+// Layer abstraction for the CNN inference/training substrate.
+//
+// Design notes that matter for MILR (src/milr):
+//  * Bias and activation are modeled as separate layers, exactly as the
+//    paper treats them ("these parts will be handled as independent layers
+//    as each part has their own mathematical relationships", Section IV).
+//  * Activations are per-sample: rank-3 (H,W,C) for convolutional stages,
+//    rank-1 (N) after Flatten. Dense also accepts rank-2 (M,N) batches —
+//    MILR's parameter solving feeds it systems of many rows.
+//  * Parameters are exposed as a mutable flat span: that span *is* the fault
+//    domain the error injectors corrupt and MILR repairs.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace milr::nn {
+
+enum class LayerKind {
+  kConv2D,
+  kDense,
+  kBias,
+  kReLU,
+  kMaxPool2D,
+  kAvgPool2D,
+  kFlatten,
+  kDropout,
+  kZeroPad2D,
+};
+
+/// Human-readable layer kind ("conv2d", "dense", ...).
+const char* LayerKindName(LayerKind kind);
+
+/// Base class of all layers. Layers own their parameters.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+
+  /// Output activation shape for a given input shape; throws
+  /// std::invalid_argument if the input shape is unsupported.
+  virtual Shape OutputShape(const Shape& input) const = 0;
+
+  /// Inference forward pass.
+  virtual Tensor Forward(const Tensor& input) const = 0;
+
+  /// Training backward pass: given the forward input `x`, forward output
+  /// `y` and upstream gradient `dy`, accumulates parameter gradients into
+  /// `dparams` (same length as Params(); may be empty for layers without
+  /// parameters) and returns the gradient w.r.t. `x`.
+  virtual Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                          std::span<float> dparams) const = 0;
+
+  /// Mutable / const view of the parameters (empty if none). This span is
+  /// the error-prone "main memory" in the paper's model.
+  virtual std::span<float> Params() { return {}; }
+  virtual std::span<const float> Params() const { return {}; }
+
+  std::size_t ParamCount() const { return Params().size(); }
+
+  /// Instance name assigned by the model ("conv_0", "bias_1", ...).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+};
+
+/// ReLU activation: y = max(0, x). No parameters. MILR treats it as the
+/// identity during init/detect/recover passes (see milr/recovery_graph.h).
+class ReLULayer final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kReLU; }
+  Shape OutputShape(const Shape& input) const override { return input; }
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+};
+
+/// Flatten: reshapes (H,W,C) -> (H*W*C). Pure shape adapter.
+class FlattenLayer final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+};
+
+/// Dropout: identity at inference time (training-only layers "can be
+/// essentially ignored" during MILR's passes, §IV-E d). The rate is kept
+/// for documentation; this library only runs inference through it.
+class DropoutLayer final : public Layer {
+ public:
+  explicit DropoutLayer(float rate = 0.5f) : rate_(rate) {}
+
+  LayerKind kind() const override { return LayerKind::kDropout; }
+  Shape OutputShape(const Shape& input) const override { return input; }
+  Tensor Forward(const Tensor& input) const override { return input; }
+  Tensor Backward(const Tensor& /*x*/, const Tensor& /*y*/, const Tensor& dy,
+                  std::span<float> /*dparams*/) const override {
+    return dy;
+  }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+};
+
+/// Zero padding: embeds an (M,M,C) input into (M+2p, M+2p, C). Adjusts
+/// shape without losing data, so MILR's backward pass simply crops
+/// (§IV-E d).
+class ZeroPad2DLayer final : public Layer {
+ public:
+  explicit ZeroPad2DLayer(std::size_t pad);
+
+  LayerKind kind() const override { return LayerKind::kZeroPad2D; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+
+  /// The lossless inverse: crops the padding off an output tensor.
+  Tensor Crop(const Tensor& output) const;
+
+  std::size_t pad() const { return pad_; }
+
+ private:
+  std::size_t pad_;
+};
+
+/// Bias: adds parameter b[c] along the last axis (per filter for conv
+/// activations, per column for dense outputs) — equation 5 of the paper.
+class BiasLayer final : public Layer {
+ public:
+  /// `channels` must equal the last axis extent of the input.
+  explicit BiasLayer(std::size_t channels);
+
+  LayerKind kind() const override { return LayerKind::kBias; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+  std::span<float> Params() override { return bias_.flat(); }
+  std::span<const float> Params() const override { return bias_.flat(); }
+
+  std::size_t channels() const { return bias_.size(); }
+  const Tensor& bias() const { return bias_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  void CheckShape(const Shape& input) const;
+  Tensor bias_;  // rank-1 (channels)
+};
+
+}  // namespace milr::nn

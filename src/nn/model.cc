@@ -1,0 +1,123 @@
+#include "nn/model.h"
+
+#include <stdexcept>
+
+namespace milr::nn {
+
+Model& Model::Add(std::unique_ptr<Layer> layer) {
+  const Shape out = layer->OutputShape(shapes_.back());
+  layer->set_name(std::string(LayerKindName(layer->kind())) + "_" +
+                  std::to_string(layers_.size()));
+  layers_.push_back(std::move(layer));
+  shapes_.push_back(out);
+  return *this;
+}
+
+Model& Model::AddConv(std::size_t filter_size, std::size_t out_channels,
+                      Padding padding) {
+  const Shape& in = shapes_.back();
+  if (in.rank() != 3) {
+    throw std::invalid_argument("AddConv: expected rank-3 input, have " +
+                                in.ToString());
+  }
+  return Add(std::make_unique<Conv2DLayer>(filter_size, in[2], out_channels,
+                                           padding));
+}
+
+Model& Model::AddDense(std::size_t out_features) {
+  const Shape& in = shapes_.back();
+  if (in.rank() != 1) {
+    throw std::invalid_argument("AddDense: expected rank-1 input, have " +
+                                in.ToString() + " (add Flatten first)");
+  }
+  return Add(std::make_unique<DenseLayer>(in[0], out_features));
+}
+
+Model& Model::AddBias() {
+  const Shape& in = shapes_.back();
+  return Add(std::make_unique<BiasLayer>(in[in.rank() - 1]));
+}
+
+Model& Model::AddReLU() { return Add(std::make_unique<ReLULayer>()); }
+
+Model& Model::AddMaxPool(std::size_t pool_size) {
+  return Add(std::make_unique<MaxPool2DLayer>(pool_size));
+}
+
+Model& Model::AddAvgPool(std::size_t pool_size) {
+  return Add(std::make_unique<AvgPool2DLayer>(pool_size));
+}
+
+Model& Model::AddFlatten() { return Add(std::make_unique<FlattenLayer>()); }
+
+Model& Model::AddDropout(float rate) {
+  return Add(std::make_unique<DropoutLayer>(rate));
+}
+
+Model& Model::AddZeroPad(std::size_t pad) {
+  return Add(std::make_unique<ZeroPad2DLayer>(pad));
+}
+
+Tensor Model::Predict(const Tensor& input) const {
+  Tensor current = input;
+  for (const auto& layer : layers_) current = layer->Forward(current);
+  return current;
+}
+
+std::vector<Tensor> Model::ForwardCollect(const Tensor& input) const {
+  std::vector<Tensor> activations;
+  activations.reserve(layers_.size() + 1);
+  activations.push_back(input);
+  for (const auto& layer : layers_) {
+    activations.push_back(layer->Forward(activations.back()));
+  }
+  return activations;
+}
+
+std::size_t Model::Classify(const Tensor& input) const {
+  const Tensor out = Predict(input);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i] > out[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t Model::TotalParams() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->ParamCount();
+  return total;
+}
+
+void Model::ForEachParamLayer(
+    const std::function<void(std::size_t, Layer&)>& fn) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->ParamCount() > 0) fn(i, *layers_[i]);
+  }
+}
+
+std::vector<std::vector<float>> Model::SnapshotParams() const {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    const auto params = layer->Params();
+    snapshot.emplace_back(params.begin(), params.end());
+  }
+  return snapshot;
+}
+
+void Model::RestoreParams(const std::vector<std::vector<float>>& snapshot) {
+  if (snapshot.size() != layers_.size()) {
+    throw std::invalid_argument("RestoreParams: snapshot layer count");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto params = layers_[i]->Params();
+    if (snapshot[i].size() != params.size()) {
+      throw std::invalid_argument("RestoreParams: size mismatch at layer " +
+                                  std::to_string(i));
+    }
+    std::copy(snapshot[i].begin(), snapshot[i].end(), params.begin());
+  }
+}
+
+}  // namespace milr::nn

@@ -1,0 +1,81 @@
+// Sequential CNN model: an ordered list of layers with a fixed input shape.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/layer.h"
+#include "nn/pool.h"
+
+namespace milr::nn {
+
+class Model {
+ public:
+  explicit Model(Shape input_shape) : input_shape_(std::move(input_shape)) {}
+
+  // Models own layers and are move-only.
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Appends a layer; returns a reference for chaining. Throws if the layer
+  /// cannot accept the current output shape.
+  Model& Add(std::unique_ptr<Layer> layer);
+
+  // Convenience builders.
+  Model& AddConv(std::size_t filter_size, std::size_t out_channels,
+                 Padding padding);
+  Model& AddDense(std::size_t out_features);
+  Model& AddBias();
+  Model& AddReLU();
+  Model& AddMaxPool(std::size_t pool_size = 2);
+  Model& AddAvgPool(std::size_t pool_size = 2);
+  Model& AddFlatten();
+  Model& AddDropout(float rate = 0.5f);
+  Model& AddZeroPad(std::size_t pad);
+
+  std::size_t LayerCount() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  const Shape& input_shape() const { return input_shape_; }
+  /// Activation shape entering layer i (i == LayerCount() gives the output).
+  const Shape& ShapeAt(std::size_t i) const { return shapes_.at(i); }
+  const Shape& output_shape() const { return shapes_.back(); }
+
+  /// Full forward pass on one sample.
+  Tensor Predict(const Tensor& input) const;
+
+  /// Forward pass that also returns every intermediate activation;
+  /// activations[i] is the input of layer i, activations[LayerCount()] the
+  /// final output.
+  std::vector<Tensor> ForwardCollect(const Tensor& input) const;
+
+  /// argmax of Predict — the predicted class for classification heads.
+  std::size_t Classify(const Tensor& input) const;
+
+  /// Total parameter count across layers.
+  std::size_t TotalParams() const;
+
+  /// Total parameter bytes (the fault domain size).
+  std::size_t TotalParamBytes() const { return TotalParams() * sizeof(float); }
+
+  /// Applies fn to every layer that has parameters (index, layer).
+  void ForEachParamLayer(
+      const std::function<void(std::size_t, Layer&)>& fn);
+
+  /// Deep copy of all parameters (for golden snapshots in tests/benches).
+  std::vector<std::vector<float>> SnapshotParams() const;
+  void RestoreParams(const std::vector<std::vector<float>>& snapshot);
+
+ private:
+  Shape input_shape_;
+  std::vector<Shape> shapes_{input_shape_};  // shapes_[i] = input of layer i
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace milr::nn

@@ -1,0 +1,147 @@
+#include "nn/pool.h"
+
+#include <stdexcept>
+
+namespace milr::nn {
+
+MaxPool2DLayer::MaxPool2DLayer(std::size_t pool_size) : pool_size_(pool_size) {
+  if (pool_size == 0) {
+    throw std::invalid_argument("MaxPool2DLayer: pool size must be >= 1");
+  }
+}
+
+void MaxPool2DLayer::CheckInput(const Shape& input) const {
+  if (input.rank() != 3 || input[0] != input[1] ||
+      input[0] % pool_size_ != 0) {
+    throw std::invalid_argument("MaxPool2DLayer(" +
+                                std::to_string(pool_size_) +
+                                "): incompatible input " + input.ToString());
+  }
+}
+
+Shape MaxPool2DLayer::OutputShape(const Shape& input) const {
+  CheckInput(input);
+  return Shape{input[0] / pool_size_, input[1] / pool_size_, input[2]};
+}
+
+Tensor MaxPool2DLayer::Forward(const Tensor& input) const {
+  CheckInput(input.shape());
+  const std::size_t m = input.shape()[0];
+  const std::size_t z = input.shape()[2];
+  const std::size_t g = m / pool_size_;
+  Tensor out(Shape{g, g, z});
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < z; ++c) {
+        float best = input.at(i * pool_size_, j * pool_size_, c);
+        for (std::size_t di = 0; di < pool_size_; ++di) {
+          for (std::size_t dj = 0; dj < pool_size_; ++dj) {
+            best = std::max(
+                best, input.at(i * pool_size_ + di, j * pool_size_ + dj, c));
+          }
+        }
+        out.at(i, j, c) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2DLayer::Backward(const Tensor& x, const Tensor& y,
+                                const Tensor& dy,
+                                std::span<float> /*dparams*/) const {
+  CheckInput(x.shape());
+  const std::size_t z = x.shape()[2];
+  const std::size_t g = y.shape()[0];
+  Tensor dx(x.shape());
+  // Route each output gradient to the (first) argmax cell of its window.
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < z; ++c) {
+        const float best = y.at(i, j, c);
+        bool routed = false;
+        for (std::size_t di = 0; di < pool_size_ && !routed; ++di) {
+          for (std::size_t dj = 0; dj < pool_size_ && !routed; ++dj) {
+            if (x.at(i * pool_size_ + di, j * pool_size_ + dj, c) == best) {
+              dx.at(i * pool_size_ + di, j * pool_size_ + dj, c) +=
+                  dy.at(i, j, c);
+              routed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+AvgPool2DLayer::AvgPool2DLayer(std::size_t pool_size)
+    : pool_size_(pool_size) {
+  if (pool_size == 0) {
+    throw std::invalid_argument("AvgPool2DLayer: pool size must be >= 1");
+  }
+}
+
+void AvgPool2DLayer::CheckInput(const Shape& input) const {
+  if (input.rank() != 3 || input[0] != input[1] ||
+      input[0] % pool_size_ != 0) {
+    throw std::invalid_argument("AvgPool2DLayer(" +
+                                std::to_string(pool_size_) +
+                                "): incompatible input " + input.ToString());
+  }
+}
+
+Shape AvgPool2DLayer::OutputShape(const Shape& input) const {
+  CheckInput(input);
+  return Shape{input[0] / pool_size_, input[1] / pool_size_, input[2]};
+}
+
+Tensor AvgPool2DLayer::Forward(const Tensor& input) const {
+  CheckInput(input.shape());
+  const std::size_t m = input.shape()[0];
+  const std::size_t z = input.shape()[2];
+  const std::size_t g = m / pool_size_;
+  const float inv_window =
+      1.0f / static_cast<float>(pool_size_ * pool_size_);
+  Tensor out(Shape{g, g, z});
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < z; ++c) {
+        float acc = 0.0f;
+        for (std::size_t di = 0; di < pool_size_; ++di) {
+          for (std::size_t dj = 0; dj < pool_size_; ++dj) {
+            acc += input.at(i * pool_size_ + di, j * pool_size_ + dj, c);
+          }
+        }
+        out.at(i, j, c) = acc * inv_window;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2DLayer::Backward(const Tensor& x, const Tensor& /*y*/,
+                                const Tensor& dy,
+                                std::span<float> /*dparams*/) const {
+  CheckInput(x.shape());
+  const std::size_t z = x.shape()[2];
+  const std::size_t g = x.shape()[0] / pool_size_;
+  const float inv_window =
+      1.0f / static_cast<float>(pool_size_ * pool_size_);
+  Tensor dx(x.shape());
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < z; ++c) {
+        const float grad = dy.at(i, j, c) * inv_window;
+        for (std::size_t di = 0; di < pool_size_; ++di) {
+          for (std::size_t dj = 0; dj < pool_size_; ++dj) {
+            dx.at(i * pool_size_ + di, j * pool_size_ + dj, c) += grad;
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace milr::nn

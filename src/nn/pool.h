@@ -1,0 +1,52 @@
+// Max pooling layer ((p,p) window, stride p — the configuration used by all
+// three networks in the paper's evaluation).
+//
+// Pooling is the canonical non-invertible layer in MILR: it has no
+// parameters (nothing to recover) but destroys information, so the
+// checkpoint planner always stores a full input checkpoint at its boundary
+// (Section IV-C).
+#pragma once
+
+#include <span>
+
+#include "nn/layer.h"
+
+namespace milr::nn {
+
+class MaxPool2DLayer final : public Layer {
+ public:
+  explicit MaxPool2DLayer(std::size_t pool_size = 2);
+
+  LayerKind kind() const override { return LayerKind::kMaxPool2D; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+
+  std::size_t pool_size() const { return pool_size_; }
+
+ private:
+  void CheckInput(const Shape& input) const;
+  std::size_t pool_size_;
+};
+
+/// Average pooling ((p,p) window, stride p). Like max pooling it reduces
+/// dimensionality irreversibly, so MILR checkpoints its input (§IV-C).
+class AvgPool2DLayer final : public Layer {
+ public:
+  explicit AvgPool2DLayer(std::size_t pool_size = 2);
+
+  LayerKind kind() const override { return LayerKind::kAvgPool2D; }
+  Shape OutputShape(const Shape& input) const override;
+  Tensor Forward(const Tensor& input) const override;
+  Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                  std::span<float> dparams) const override;
+
+  std::size_t pool_size() const { return pool_size_; }
+
+ private:
+  void CheckInput(const Shape& input) const;
+  std::size_t pool_size_;
+};
+
+}  // namespace milr::nn

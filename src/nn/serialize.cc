@@ -1,0 +1,70 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace milr::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d494c52;  // "MILR"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveParams(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kInternal, "cannot open " + path + " to write");
+  }
+  auto write_u64 = [&out](std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  write_u64(model.LayerCount());
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    const auto params = model.layer(i).Params();
+    write_u64(params.size());
+    out.write(reinterpret_cast<const char*>(params.data()),
+              static_cast<std::streamsize>(params.size() * sizeof(float)));
+  }
+  if (!out) return Status(StatusCode::kInternal, "short write to " + path);
+  return Status::Ok();
+}
+
+Status LoadParams(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(StatusCode::kNotFound, path + " does not exist");
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || magic != kMagic || version != kVersion) {
+    return Status(StatusCode::kDataLoss, path + ": bad header");
+  }
+  auto read_u64 = [&in]() {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  const std::uint64_t layers = read_u64();
+  if (layers != model.LayerCount()) {
+    return Status(StatusCode::kInvalidArgument,
+                  path + ": layer count mismatch");
+  }
+  for (std::size_t i = 0; i < layers; ++i) {
+    const std::uint64_t count = read_u64();
+    auto params = model.layer(i).Params();
+    if (count != params.size()) {
+      return Status(StatusCode::kInvalidArgument,
+                    path + ": param count mismatch at layer " +
+                        std::to_string(i));
+    }
+    in.read(reinterpret_cast<char*>(params.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  }
+  if (!in) return Status(StatusCode::kDataLoss, path + ": truncated");
+  return Status::Ok();
+}
+
+}  // namespace milr::nn

@@ -1,0 +1,18 @@
+// Binary save/load of model parameters — used by the experiment harness to
+// cache trained weights between bench runs.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+#include "support/status.h"
+
+namespace milr::nn {
+
+/// Writes all layer parameters to `path` (simple tagged binary format).
+Status SaveParams(const Model& model, const std::string& path);
+
+/// Loads parameters saved by SaveParams; layer structure must match.
+Status LoadParams(Model& model, const std::string& path);
+
+}  // namespace milr::nn

@@ -1,0 +1,185 @@
+#include "nn/train.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "support/parallel.h"
+#include "support/prng.h"
+
+namespace milr::nn {
+namespace {
+
+/// softmax(logits) − one_hot(label); returns loss via out-param.
+Tensor SoftmaxCrossEntropyGrad(const Tensor& logits, std::size_t label,
+                               double& loss) {
+  Tensor grad = logits;
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    max_logit = std::max(max_logit, logits[i]);
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    sum += std::exp(static_cast<double>(logits[i] - max_logit));
+  }
+  const double log_sum = std::log(sum) + max_logit;
+  loss = log_sum - logits[label];
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = static_cast<float>(
+        std::exp(static_cast<double>(logits[i]) - log_sum));
+  }
+  grad[label] -= 1.0f;
+  return grad;
+}
+
+/// Per-layer gradient buffers matching the model's parameter layout.
+std::vector<std::vector<float>> MakeGradBuffers(const Model& model) {
+  std::vector<std::vector<float>> grads(model.LayerCount());
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    grads[i].assign(model.layer(i).ParamCount(), 0.0f);
+  }
+  return grads;
+}
+
+}  // namespace
+
+double Evaluate(const Model& model, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::atomic<std::size_t> correct{0};
+  ParallelFor(0, data.size(), [&](std::size_t i) {
+    if (model.Classify(data.images[i]) == data.labels[i]) {
+      correct.fetch_add(1, std::memory_order_relaxed);
+    }
+  }, /*grain=*/4);
+  return static_cast<double>(correct.load()) /
+         static_cast<double>(data.size());
+}
+
+std::vector<EpochStats> Fit(Model& model, const Dataset& train,
+                            const TrainConfig& config) {
+  if (train.size() == 0 || train.images.size() != train.labels.size()) {
+    throw std::invalid_argument("Fit: empty or inconsistent dataset");
+  }
+  const std::size_t layer_count = model.LayerCount();
+  auto velocity = MakeGradBuffers(model);
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Prng shuffle_prng(config.shuffle_seed);
+
+  std::vector<EpochStats> history;
+  const std::size_t shards = ParallelWorkerCount();
+  float learning_rate = config.learning_rate;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the reproducible PRNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_prng.NextBelow(i)]);
+    }
+
+    double total_loss = 0.0;
+    std::size_t total_correct = 0;
+
+    for (std::size_t begin = 0; begin < train.size();
+         begin += config.batch_size) {
+      const std::size_t end = std::min(train.size(), begin + config.batch_size);
+      const std::size_t batch = end - begin;
+
+      // Shard the batch across workers, each with private grad buffers.
+      std::vector<std::vector<std::vector<float>>> shard_grads(shards);
+      std::vector<double> shard_loss(shards, 0.0);
+      std::vector<std::size_t> shard_correct(shards, 0);
+      const std::size_t per_shard = (batch + shards - 1) / shards;
+
+      ParallelFor(0, shards, [&](std::size_t shard) {
+        const std::size_t lo = begin + shard * per_shard;
+        const std::size_t hi = std::min(end, lo + per_shard);
+        if (lo >= hi) return;
+        auto grads = MakeGradBuffers(model);
+        for (std::size_t s = lo; s < hi; ++s) {
+          const Tensor& image = train.images[order[s]];
+          const std::size_t label = train.labels[order[s]];
+          const auto activations = model.ForwardCollect(image);
+          const Tensor& logits = activations.back();
+          {
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < logits.size(); ++c) {
+              if (logits[c] > logits[best]) best = c;
+            }
+            if (best == label) ++shard_correct[shard];
+          }
+          double loss = 0.0;
+          Tensor grad = SoftmaxCrossEntropyGrad(logits, label, loss);
+          shard_loss[shard] += loss;
+          for (std::size_t li = layer_count; li-- > 0;) {
+            grad = model.layer(li).Backward(activations[li],
+                                            activations[li + 1], grad,
+                                            grads[li]);
+          }
+        }
+        shard_grads[shard] = std::move(grads);
+      });
+
+      // Reduce shard gradients into one mean-gradient buffer per layer.
+      auto grads = MakeGradBuffers(model);
+      const float inv_batch = 1.0f / static_cast<float>(batch);
+      for (std::size_t li = 0; li < layer_count; ++li) {
+        for (std::size_t shard = 0; shard < shards; ++shard) {
+          if (shard_grads[shard].empty()) continue;
+          const auto& g = shard_grads[shard][li];
+          for (std::size_t p = 0; p < g.size(); ++p) {
+            grads[li][p] += g[p] * inv_batch;
+          }
+        }
+      }
+      // Global-norm clipping keeps deep stacks from diverging.
+      if (config.clip_norm > 0.0f) {
+        double norm_sq = 0.0;
+        for (const auto& g : grads) {
+          for (const float v : g) {
+            norm_sq += static_cast<double>(v) * static_cast<double>(v);
+          }
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config.clip_norm) {
+          const float shrink =
+              config.clip_norm / static_cast<float>(norm);
+          for (auto& g : grads) {
+            for (float& v : g) v *= shrink;
+          }
+        }
+      }
+      // SGD with momentum.
+      for (std::size_t li = 0; li < layer_count; ++li) {
+        auto params = model.layer(li).Params();
+        if (params.empty()) continue;
+        auto& vel = velocity[li];
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          vel[p] = vel[p] * config.momentum - learning_rate * grads[li][p];
+          params[p] += vel[p];
+        }
+      }
+      for (std::size_t shard = 0; shard < shards; ++shard) {
+        total_loss += shard_loss[shard];
+        total_correct += shard_correct[shard];
+      }
+    }
+    learning_rate *= config.lr_decay;
+
+    EpochStats stats;
+    stats.mean_loss = total_loss / static_cast<double>(train.size());
+    stats.train_accuracy = static_cast<double>(total_correct) /
+                           static_cast<double>(train.size());
+    history.push_back(stats);
+    if (config.verbose) {
+      std::printf("epoch %zu/%zu loss=%.4f acc=%.4f\n", epoch + 1,
+                  config.epochs, stats.mean_loss, stats.train_accuracy);
+      std::fflush(stdout);
+    }
+  }
+  return history;
+}
+
+}  // namespace milr::nn

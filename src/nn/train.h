@@ -1,0 +1,51 @@
+// SGD training with softmax cross-entropy — enough to train the paper's
+// three evaluation networks to high accuracy on the synthetic datasets.
+//
+// Training exists so the fault-injection experiments measure accuracy of a
+// *functioning* classifier, as in the paper; MILR itself never trains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace milr::nn {
+
+/// A labeled classification dataset (each sample shaped like the model's
+/// input; labels in [0, num_classes)).
+struct Dataset {
+  std::vector<Tensor> images;
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return images.size(); }
+};
+
+struct TrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 64;
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  /// Global-norm gradient clipping (0 disables). Deep stacks under plain
+  /// SGD diverge without it.
+  float clip_norm = 5.0f;
+  /// Multiplies the learning rate after each epoch (1 = constant).
+  float lr_decay = 1.0f;
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;
+};
+
+/// Classification accuracy of `model` on `data` (parallel over samples).
+double Evaluate(const Model& model, const Dataset& data);
+
+/// Mean softmax cross-entropy + accuracy of one epoch of SGD-with-momentum.
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Trains in place; returns per-epoch stats.
+std::vector<EpochStats> Fit(Model& model, const Dataset& train,
+                            const TrainConfig& config);
+
+}  // namespace milr::nn

@@ -1,0 +1,30 @@
+// Bit/byte reinterpretation helpers for the fault-injection and ECC code.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace milr {
+
+/// Bit pattern of an IEEE-754 float as a u32 (total order of bytes in memory
+/// is irrelevant here; injectors and ECC both operate on this value).
+inline std::uint32_t FloatBits(float value) {
+  return std::bit_cast<std::uint32_t>(value);
+}
+
+/// Inverse of FloatBits.
+inline float FloatFromBits(std::uint32_t bits) {
+  return std::bit_cast<float>(bits);
+}
+
+/// Flips bit `pos` (0 = LSB) of a float's representation.
+inline float FlipFloatBit(float value, int pos) {
+  return FloatFromBits(FloatBits(value) ^ (std::uint32_t{1} << pos));
+}
+
+/// Population count of differing bits between two floats.
+inline int FloatBitDistance(float a, float b) {
+  return std::popcount(FloatBits(a) ^ FloatBits(b));
+}
+
+}  // namespace milr

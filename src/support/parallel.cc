@@ -1,0 +1,69 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace milr {
+
+std::size_t ParallelWorkerCount() {
+  static const std::size_t count = [] {
+    if (const char* env = std::getenv("MILR_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw == 0 ? 1 : hw);
+  }();
+  return count;
+}
+
+namespace {
+// Nested ParallelFor calls (e.g. a parallel solver invoked from a parallel
+// per-filter loop) run serially instead of oversubscribing the machine.
+thread_local bool g_in_parallel_region = false;
+}  // namespace
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = ParallelWorkerCount();
+  if (workers <= 1 || n <= grain || g_in_parallel_region) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next(begin);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    g_in_parallel_region = true;
+    for (;;) {
+      const std::size_t chunk_begin = next.fetch_add(grain);
+      if (chunk_begin >= end) return;
+      const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const std::size_t spawned = std::min(workers, (n + grain - 1) / grain);
+  threads.reserve(spawned);
+  for (std::size_t t = 0; t < spawned; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace milr

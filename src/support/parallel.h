@@ -1,0 +1,20 @@
+// Minimal data-parallel helper used by the NN and recovery code paths.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace milr {
+
+/// Number of worker threads parallel_for will use (hardware concurrency,
+/// overridable via the MILR_THREADS environment variable; >=1).
+std::size_t ParallelWorkerCount();
+
+/// Runs fn(i) for i in [begin, end) across a thread pool. Falls back to a
+/// serial loop for small ranges. fn must be safe to call concurrently for
+/// distinct i. Exceptions from workers are rethrown on the calling thread.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 1);
+
+}  // namespace milr

@@ -1,0 +1,12 @@
+#include "support/prng.h"
+
+namespace milr {
+
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream) {
+  // Feed both words through SplitMix64 so adjacent streams decorrelate.
+  SplitMix64 sm(base ^ (0x9e3779b97f4a7c15ULL + stream * 0xd1342543de82ef95ULL));
+  sm.Next();
+  return sm.Next();
+}
+
+}  // namespace milr

@@ -1,0 +1,87 @@
+// Deterministic, platform-stable pseudo-random number generation.
+//
+// MILR regenerates dummy inputs, dummy parameters and detection inputs from
+// *stored seeds* instead of storing the tensors themselves (Section III of
+// the paper). That only works if the generator produces the identical stream
+// on every run and platform, so we implement xoshiro256** + SplitMix64
+// ourselves rather than relying on std:: distributions (whose sequences are
+// implementation-defined).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace milr {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, reproducible 64-bit generator.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1). 53-bit mantissa path — stable across platforms.
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, bound). Rejection-free modulo is fine here: the
+  /// bias for bounds << 2^64 is negligible and determinism is what matters.
+  std::uint64_t NextBelow(std::uint64_t bound) { return NextU64() % bound; }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Fills `out` with uniform floats in [lo, hi).
+  void FillUniform(std::vector<float>& out, float lo, float hi) {
+    for (auto& v : out) v = NextFloat(lo, hi);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives a child seed from (base, stream) so each layer / purpose gets an
+/// independent reproducible stream from one stored master seed.
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t stream);
+
+}  // namespace milr

@@ -1,0 +1,104 @@
+// Lightweight status / result types used across the MILR libraries.
+//
+// Convention (follows C++ Core Guidelines E.*): programming errors (shape
+// mismatches, out-of-range indices) throw std::invalid_argument /
+// std::out_of_range; *recoverable, expected* failures (an unsolvable
+// recovery system, an undetectable error pattern) are reported through
+// Status / Result so callers can degrade gracefully — a self-healing
+// system must not die on the conditions it exists to handle.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace milr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something structurally wrong
+  kFailedPrecondition,// operation not legal in current state
+  kUnsolvable,        // recovery system of equations has no usable solution
+  kNotFound,          // requested item (layer, checkpoint) does not exist
+  kDataLoss,          // corruption detected that cannot be corrected
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode ("ok", "unsolvable", ...).
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kUnsolvable: return "unsolvable";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Value-semantic status: either OK or a code plus message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for logs and test failure output.
+  std::string ToString() const {
+    if (ok()) return "ok";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: a value or a failure Status. Minimal expected<> stand-in.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) { // NOLINT(implicit)
+    if (status_.ok()) {
+      throw std::invalid_argument("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RequireOk();
+    return *value_;
+  }
+  T& value() & {
+    RequireOk();
+    return *value_;
+  }
+  T&& value() && {
+    RequireOk();
+    return std::move(*value_);
+  }
+
+ private:
+  void RequireOk() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " + status_.ToString());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace milr

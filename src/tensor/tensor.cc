@@ -1,0 +1,145 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/prng.h"
+
+namespace milr {
+
+std::size_t Shape::NumElements() const {
+  std::size_t n = 1;
+  for (const std::size_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(dims_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.NumElements(), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_.NumElements()) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_.ToString());
+  }
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+void Tensor::CheckRank(std::size_t rank) const {
+  if (shape_.rank() != rank) {
+    throw std::invalid_argument("Tensor: rank-" + std::to_string(rank) +
+                                " access on shape " + shape_.ToString());
+  }
+}
+
+float& Tensor::at(std::size_t i0) {
+  CheckRank(1);
+  return data_.at(i0);
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1) {
+  CheckRank(2);
+  if (i0 >= shape_[0] || i1 >= shape_[1]) {
+    throw std::out_of_range("Tensor: index out of range for " +
+                            shape_.ToString());
+  }
+  return data_[i0 * shape_[1] + i1];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) {
+  CheckRank(3);
+  if (i0 >= shape_[0] || i1 >= shape_[1] || i2 >= shape_[2]) {
+    throw std::out_of_range("Tensor: index out of range for " +
+                            shape_.ToString());
+  }
+  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3) {
+  CheckRank(4);
+  if (i0 >= shape_[0] || i1 >= shape_[1] || i2 >= shape_[2] ||
+      i3 >= shape_[3]) {
+    throw std::out_of_range("Tensor: index out of range for " +
+                            shape_.ToString());
+  }
+  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+}
+
+float Tensor::at(std::size_t i0) const {
+  return const_cast<Tensor*>(this)->at(i0);
+}
+float Tensor::at(std::size_t i0, std::size_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                 std::size_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  if (new_shape.NumElements() != data_.size()) {
+    throw std::invalid_argument("Tensor::Reshaped: size mismatch " +
+                                shape_.ToString() + " -> " +
+                                new_shape.ToString());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) {
+    throw std::invalid_argument("MaxAbsDiff: shape mismatch " +
+                                a.shape().ToString() + " vs " +
+                                b.shape().ToString());
+  }
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float diff = std::abs(a[i] - b[i]);
+    // NaN in either operand counts as maximal difference; plain max() would
+    // silently drop it (NaN comparisons are false).
+    if (std::isnan(diff)) return std::numeric_limits<float>::infinity();
+    max_diff = std::max(max_diff, diff);
+  }
+  return max_diff;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float tol) {
+  return MaxAbsDiff(a, b) <= tol;
+}
+
+void FillRandom(Tensor& t, Prng& prng, float lo, float hi) {
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = prng.NextFloat(lo, hi);
+}
+
+Tensor RandomTensor(Shape shape, Prng& prng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  FillRandom(t, prng, lo, hi);
+  return t;
+}
+
+}  // namespace milr

@@ -1,0 +1,109 @@
+// Row-major N-dimensional float tensor.
+//
+// This is the in-memory representation of CNN activations and weights.
+// float32 is deliberate: the paper evaluates 32-bit IEEE-754 weights and the
+// fault injectors flip bits of exactly this representation. All recovery
+// *solving* happens in double (src/linalg) and is rounded back to float.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace milr {
+
+/// Shape of a tensor: up to 4 dimensions used in this codebase
+/// (conv activations are HWC, conv filters are FFZY, dense weights are NP).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  std::size_t rank() const { return dims_.size(); }
+  std::size_t operator[](std::size_t axis) const { return dims_.at(axis); }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for rank-0).
+  std::size_t NumElements() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+
+  /// Renders e.g. "(26,26,32)".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+/// Dense row-major float tensor with value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Checked multi-dimensional accessors (row-major).
+  float& at(std::size_t i0);
+  float& at(std::size_t i0, std::size_t i1);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  float at(std::size_t i0) const;
+  float at(std::size_t i0, std::size_t i1) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2,
+           std::size_t i3) const;
+
+  /// Unchecked row-major offset for a 3-d index; hot-path helper.
+  std::size_t Offset3(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    return (i0 * shape_[1] + i1) * shape_[2] + i2;
+  }
+
+  /// Returns a tensor with the same data and a new shape of equal size.
+  Tensor Reshaped(Shape new_shape) const;
+
+  void Fill(float value);
+
+  /// Size of the payload in bytes (what the fault domain holds).
+  std::size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  void CheckRank(std::size_t rank) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Largest absolute elementwise difference; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// True if every element differs by at most `tol`.
+bool AllClose(const Tensor& a, const Tensor& b, float tol);
+
+/// Fills `t` with PRNG uniforms in [lo, hi) — the paper's seeded
+/// pseudo-random tensor generator.
+class Prng;
+void FillRandom(Tensor& t, Prng& prng, float lo = -1.0f, float hi = 1.0f);
+
+/// Convenience: a fresh random tensor.
+Tensor RandomTensor(Shape shape, Prng& prng, float lo = -1.0f, float hi = 1.0f);
+
+}  // namespace milr

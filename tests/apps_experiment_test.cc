@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "apps/experiment.h"
+#include "nn/gemm.h"
+#include "support/prng.h"
+
+namespace milr::apps {
+namespace {
+
+TEST(BoxStatsTest, SingleValue) {
+  const auto stats = BoxStats::Of({0.7});
+  EXPECT_DOUBLE_EQ(stats.median, 0.7);
+  EXPECT_DOUBLE_EQ(stats.q25, 0.7);
+  EXPECT_DOUBLE_EQ(stats.q75, 0.7);
+  EXPECT_DOUBLE_EQ(stats.min, 0.7);
+  EXPECT_DOUBLE_EQ(stats.max, 0.7);
+}
+
+TEST(BoxStatsTest, KnownQuartiles) {
+  // 0..8: median 4, q25 2, q75 6.
+  std::vector<double> values;
+  for (int i = 8; i >= 0; --i) values.push_back(i);
+  const auto stats = BoxStats::Of(values);
+  EXPECT_DOUBLE_EQ(stats.median, 4.0);
+  EXPECT_DOUBLE_EQ(stats.q25, 2.0);
+  EXPECT_DOUBLE_EQ(stats.q75, 6.0);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 8.0);
+}
+
+TEST(BoxStatsTest, InterpolatesBetweenSamples) {
+  const auto stats = BoxStats::Of({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(stats.median, 0.5);
+  EXPECT_DOUBLE_EQ(stats.q25, 0.25);
+  EXPECT_DOUBLE_EQ(stats.q75, 0.75);
+}
+
+TEST(BoxStatsTest, EmptyIsZero) {
+  const auto stats = BoxStats::Of({});
+  EXPECT_DOUBLE_EQ(stats.median, 0.0);
+}
+
+TEST(SchemeNameTest, AllNamed) {
+  EXPECT_STREQ(SchemeName(Scheme::kNoRecovery), "none");
+  EXPECT_STREQ(SchemeName(Scheme::kEcc), "ecc");
+  EXPECT_STREQ(SchemeName(Scheme::kMilr), "milr");
+  EXPECT_STREQ(SchemeName(Scheme::kEccMilr), "ecc+milr");
+}
+
+TEST(FormatBoxRowTest, ContainsAllFields) {
+  BoxStats stats;
+  stats.median = 0.5;
+  stats.q25 = 0.25;
+  stats.q75 = 0.75;
+  stats.min = 0.1;
+  stats.max = 0.9;
+  const std::string row = FormatBoxRow("1e-04", stats);
+  EXPECT_NE(row.find("1e-04"), std::string::npos);
+  EXPECT_NE(row.find("median=0.5000"), std::string::npos);
+  EXPECT_NE(row.find("q25=0.2500"), std::string::npos);
+  EXPECT_NE(row.find("max=0.9000"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ gemm
+
+TEST(GemmTest, AccumulateMatchesNaive) {
+  Prng prng(1);
+  const std::size_t m = 5, k = 7, n = 4;
+  std::vector<float> a(m * k), b(k * n), c(m * n, 0.0f);
+  for (auto& v : a) v = prng.NextFloat(-1, 1);
+  for (auto& v : b) v = prng.NextFloat(-1, 1);
+  nn::GemmAccumulate(a.data(), b.data(), c.data(), m, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      EXPECT_NEAR(c[i * n + j], acc, 1e-5f);
+    }
+  }
+}
+
+TEST(GemmTest, TransposedVariantsAgree) {
+  Prng prng(2);
+  const std::size_t m = 6, k = 5, n = 3;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = prng.NextFloat(-1, 1);
+  for (auto& v : b) v = prng.NextFloat(-1, 1);
+
+  // Reference: C = A·B.
+  std::vector<float> c_ref(m * n, 0.0f);
+  nn::GemmAccumulate(a.data(), b.data(), c_ref.data(), m, k, n);
+
+  // Aᵀ variant: store A as (k,m) and ask for Aᵀ·B.
+  std::vector<float> at(k * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) at[p * m + i] = a[i * k + p];
+  }
+  std::vector<float> c_at(m * n, 0.0f);
+  nn::GemmTransposedAAccumulate(at.data(), b.data(), c_at.data(), m, k, n);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c_at[i], c_ref[i], 1e-5f);
+
+  // Bᵀ variant: store B as (n,k) and ask for A·Bᵀ.
+  std::vector<float> bt(n * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  }
+  std::vector<float> c_bt(m * n, 0.0f);
+  nn::GemmTransposedBAccumulate(a.data(), bt.data(), c_bt.data(), m, k, n);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c_bt[i], c_ref[i], 1e-5f);
+}
+
+}  // namespace
+}  // namespace milr::apps

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "milr/availability.h"
+
+namespace milr::core {
+namespace {
+
+TEST(RecoveryTimeModelTest, FitsQuadraticExactly) {
+  // y = 0.5 + 0.01 n + 1e-6 n².
+  std::vector<double> errors = {0, 100, 500, 1000, 5000};
+  std::vector<double> seconds;
+  for (const double n : errors) {
+    seconds.push_back(0.5 + 0.01 * n + 1e-6 * n * n);
+  }
+  const auto model = RecoveryTimeModel::Fit(errors, seconds);
+  EXPECT_NEAR(model.base_seconds, 0.5, 1e-9);
+  EXPECT_NEAR(model.per_error_seconds, 0.01, 1e-9);
+  EXPECT_NEAR(model.per_error_sq_seconds, 1e-6, 1e-12);
+  EXPECT_NEAR(model.Seconds(2000.0), 0.5 + 20.0 + 4.0, 1e-6);
+}
+
+TEST(RecoveryTimeModelTest, RejectsTooFewPoints) {
+  EXPECT_THROW(RecoveryTimeModel::Fit({1, 2}, {1, 2}), std::invalid_argument);
+}
+
+TEST(ErrorsPerHourTest, MatchesPaperScaling) {
+  // 1.67M params ≈ 53.4 Mbit; 75,000 FIT/Mbit → ≈ 4.0e-3 errors/hour.
+  const double rate = ErrorsPerHour(1670000);
+  EXPECT_NEAR(rate, 75000e-9 * 1670000 * 32.0 / 1e6, 1e-12);
+  EXPECT_GT(rate, 3.5e-3);
+  EXPECT_LT(rate, 4.5e-3);
+}
+
+AvailabilityParams TestParams() {
+  AvailabilityParams params;
+  params.detection_seconds = 0.02;
+  params.detections_per_cycle = 2.0;
+  params.time_between_errors_s = 3600.0 * 250;  // ~250h between errors
+  params.recovery.base_seconds = 0.1;
+  params.recovery.per_error_seconds = 0.05;
+  params.accuracy_loss_per_error = 1e-4;
+  return params;
+}
+
+TEST(AvailabilityCurveTest, MonotoneTradeoff) {
+  const auto curve =
+      AvailabilityAccuracyCurve(TestParams(), 60.0, 3.15e7, 64);
+  ASSERT_EQ(curve.size(), 64u);
+  // Longer cycles: availability weakly rises, minimum accuracy weakly falls.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].availability + 1e-12, curve[i - 1].availability);
+    EXPECT_LE(curve[i].min_accuracy, curve[i - 1].min_accuracy + 1e-12);
+  }
+}
+
+TEST(AvailabilityCurveTest, EndpointsBehave) {
+  const auto curve =
+      AvailabilityAccuracyCurve(TestParams(), 60.0, 3.15e7, 64);
+  // A one-year cycle has essentially perfect availability.
+  EXPECT_GT(curve.back().availability, 0.99999);
+  // A one-minute cycle keeps accuracy essentially perfect.
+  EXPECT_GT(curve.front().min_accuracy, 0.999999);
+}
+
+TEST(AvailabilityCurveTest, UserAAndUserBQueries) {
+  const auto params = TestParams();
+  const double avail =
+      BestAvailabilityAtAccuracy(params, 0.99999, 60.0, 3.15e7);
+  EXPECT_GT(avail, 0.9);
+  const double acc = BestAccuracyAtAvailability(params, 0.999, 60.0, 3.15e7);
+  EXPECT_GT(acc, 0.9);
+  // Tightening one requirement cannot improve the other.
+  EXPECT_LE(BestAvailabilityAtAccuracy(params, 0.999999, 60.0, 3.15e7),
+            BestAvailabilityAtAccuracy(params, 0.99, 60.0, 3.15e7) + 1e-12);
+}
+
+TEST(AvailabilityCurveTest, RejectsBadRanges) {
+  EXPECT_THROW(AvailabilityAccuracyCurve(TestParams(), 0.0, 10.0, 8),
+               std::invalid_argument);
+  EXPECT_THROW(AvailabilityAccuracyCurve(TestParams(), 10.0, 5.0, 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace milr::core

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "ecc/crc.h"
+#include "ecc/crc2d.h"
+#include "support/bytes.h"
+#include "support/prng.h"
+#include "tensor/tensor.h"
+
+namespace milr::ecc {
+namespace {
+
+TEST(Crc8Test, KnownVector) {
+  // CRC-8/SMBUS of "123456789" is 0xF4.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc8(msg), 0xF4);
+}
+
+TEST(Crc8Test, SensitiveToSingleBit) {
+  std::uint8_t a[4] = {1, 2, 3, 4};
+  std::uint8_t b[4] = {1, 2, 3, 5};
+  EXPECT_NE(Crc8(a), Crc8(b));
+}
+
+TEST(Crc8Test, FloatsMatchBytes) {
+  const float values[2] = {1.5f, -2.25f};
+  std::uint8_t raw[8];
+  std::memcpy(raw, values, 8);
+  EXPECT_EQ(Crc8OfFloats(values), Crc8(raw));
+}
+
+Tensor RandomFilters(std::size_t f, std::size_t z, std::size_t y,
+                     std::uint64_t seed) {
+  Prng prng(seed);
+  return RandomTensor(Shape{f, f, z, y}, prng);
+}
+
+TEST(Crc2dTest, CleanTensorHasNoSuspects) {
+  const Tensor filters = RandomFilters(3, 8, 16, 1);
+  const auto codes = ComputeCrc2d(filters);
+  EXPECT_TRUE(LocalizeErrors(filters, codes).empty());
+}
+
+TEST(Crc2dTest, LocalizesSingleCorruptedWeight) {
+  Tensor filters = RandomFilters(3, 8, 16, 2);
+  const auto codes = ComputeCrc2d(filters);
+  const std::size_t victim = 137;
+  filters[victim] = FlipFloatBit(filters[victim], 30);
+  const auto suspects = LocalizeErrors(filters, codes);
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_NE(std::find(suspects.begin(), suspects.end(), victim),
+            suspects.end());
+  // A single error in one (row, col) intersection localizes exactly.
+  EXPECT_EQ(suspects.size(), 1u);
+}
+
+TEST(Crc2dTest, LocalizesWholeWeightError) {
+  Tensor filters = RandomFilters(5, 16, 8, 3);
+  const auto codes = ComputeCrc2d(filters);
+  const std::size_t victim = 901;
+  filters[victim] = FloatFromBits(FloatBits(filters[victim]) ^ 0xffffffffu);
+  const auto suspects = LocalizeErrors(filters, codes);
+  EXPECT_NE(std::find(suspects.begin(), suspects.end(), victim),
+            suspects.end());
+}
+
+class Crc2dMultiError : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Crc2dMultiError, SuspectsCoverAllTrueErrors) {
+  const std::size_t error_count = GetParam();
+  Tensor filters = RandomFilters(3, 16, 32, 4 + error_count);
+  const auto codes = ComputeCrc2d(filters);
+  Prng prng(99 + error_count);
+  std::vector<std::size_t> victims;
+  while (victims.size() < error_count) {
+    const std::size_t v = prng.NextBelow(filters.size());
+    if (std::find(victims.begin(), victims.end(), v) != victims.end()) {
+      continue;
+    }
+    victims.push_back(v);
+    filters[v] = FlipFloatBit(filters[v], static_cast<int>(prng.NextBelow(32)));
+  }
+  const auto suspects = LocalizeErrors(filters, codes);
+  // Every true error must be contained (possibly with false positives at
+  // row/column intersections — the recovery solver tolerates those).
+  for (const std::size_t v : victims) {
+    EXPECT_NE(std::find(suspects.begin(), suspects.end(), v), suspects.end())
+        << "missing victim " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorCounts, Crc2dMultiError,
+                         ::testing::Values(1, 2, 4, 8, 32, 128));
+
+TEST(Crc2dTest, FalsePositivesStayWithinIntersections) {
+  // Two errors in the same slice at (r1,c1) and (r2,c2) may also flag
+  // (r1,c2) and (r2,c1) — but nothing outside those intersections.
+  Tensor filters = RandomFilters(1, 8, 8, 7);  // single slice, 8×8 grid
+  const auto codes = ComputeCrc2d(filters);
+  filters.at(0, 0, 1, 2) = 100.0f;
+  filters.at(0, 0, 5, 6) = -100.0f;
+  const auto suspects = LocalizeErrors(filters, codes);
+  for (const std::size_t s : suspects) {
+    const std::size_t r = (s / 8) % 8;
+    const std::size_t c = s % 8;
+    EXPECT_TRUE((r == 1 || r == 5) && (c == 2 || c == 6))
+        << "unexpected suspect at (" << r << "," << c << ")";
+  }
+}
+
+TEST(Crc2dTest, GroupSizeOneLocalizesExactly) {
+  Tensor filters = RandomFilters(3, 4, 4, 8);
+  const auto codes = ComputeCrc2d(filters, /*group=*/1);
+  filters[17] += 1.0f;
+  filters[33] -= 1.0f;
+  const auto suspects = LocalizeErrors(filters, codes);
+  EXPECT_EQ(suspects.size(), 2u);
+}
+
+TEST(Crc2dTest, NonMultipleOfGroupDimensions) {
+  // 5×7 grid with group 4 exercises the ragged tail groups.
+  Prng prng(12);
+  Tensor params = RandomTensor(Shape{5, 7}, prng);
+  const auto codes = ComputeCrc2d(params);
+  params.at(4, 6) = 42.0f;
+  const auto suspects = LocalizeErrors(params, codes);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], 4u * 7u + 6u);
+}
+
+TEST(Crc2dTest, ShapeMismatchThrows) {
+  const Tensor a = RandomFilters(3, 4, 4, 1);
+  const Tensor b = RandomFilters(3, 4, 8, 1);
+  const auto codes = ComputeCrc2d(a);
+  EXPECT_THROW(LocalizeErrors(b, codes), std::invalid_argument);
+}
+
+TEST(Crc2dTest, StorageMatchesPaperAccounting) {
+  // F²·Z row groups of ⌈Y/4⌉ codes + F²·Y column groups of ⌈Z/4⌉ codes.
+  const Tensor filters = RandomFilters(3, 32, 64, 5);
+  const auto codes = ComputeCrc2d(filters);
+  const std::size_t expected = 9 * 32 * (64 / 4) + 9 * 64 * (32 / 4);
+  EXPECT_EQ(codes.SizeBytes(), expected);
+}
+
+}  // namespace
+}  // namespace milr::ecc

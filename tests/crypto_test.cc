@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/xts.h"
+#include "support/prng.h"
+
+namespace milr::crypto {
+namespace {
+
+Key128 KeyFromBytes(std::initializer_list<std::uint8_t> bytes) {
+  Key128 key{};
+  std::size_t i = 0;
+  for (const auto b : bytes) key[i++] = b;
+  return key;
+}
+
+// FIPS-197 Appendix B known-answer test.
+TEST(Aes128Test, Fips197Vector) {
+  const Key128 key = KeyFromBytes({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                   0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                   0x4f, 0x3c});
+  Block block = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                          0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  aes.EncryptBlock(block);
+  EXPECT_EQ(block, expected);
+}
+
+// FIPS-197 Appendix C.1 vector.
+TEST(Aes128Test, Fips197AppendixC) {
+  const Key128 key = KeyFromBytes({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                   0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                                   0x0e, 0x0f});
+  Block block = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const Block expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                          0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  aes.EncryptBlock(block);
+  EXPECT_EQ(block, expected);
+}
+
+TEST(Aes128Test, DecryptInvertsEncrypt) {
+  milr::Prng prng(3);
+  Key128 key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  Aes128 aes(key);
+  for (int trial = 0; trial < 50; ++trial) {
+    Block original{};
+    for (auto& b : original) {
+      b = static_cast<std::uint8_t>(prng.NextBelow(256));
+    }
+    Block block = original;
+    aes.EncryptBlock(block);
+    EXPECT_NE(block, original);
+    aes.DecryptBlock(block);
+    EXPECT_EQ(block, original);
+  }
+}
+
+TEST(Gf128Test, MulAlphaShiftsBits) {
+  Block v{};
+  v[0] = 0x01;
+  Gf128MulAlpha(v);
+  EXPECT_EQ(v[0], 0x02);
+  // Overflow of the top bit folds back via the reduction polynomial 0x87.
+  Block top{};
+  top[15] = 0x80;
+  Gf128MulAlpha(top);
+  EXPECT_EQ(top[0], 0x87);
+  EXPECT_EQ(top[15], 0x00);
+}
+
+TEST(XtsTest, RoundTrip) {
+  milr::Prng prng(5);
+  Key128 k1{}, k2{};
+  for (auto& b : k1) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  for (auto& b : k2) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  XtsAes xts(k1, k2);
+  std::vector<std::uint8_t> data(256);
+  for (auto& b : data) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  const auto original = data;
+  xts.Encrypt(data, /*sector=*/7);
+  EXPECT_NE(data, original);
+  xts.Decrypt(data, /*sector=*/7);
+  EXPECT_EQ(data, original);
+}
+
+TEST(XtsTest, WrongSectorFailsToDecrypt) {
+  XtsAes xts(Key128{}, KeyFromBytes({1}));
+  std::vector<std::uint8_t> data(64, 0xab);
+  const auto original = data;
+  xts.Encrypt(data, 1);
+  xts.Decrypt(data, 2);
+  EXPECT_NE(data, original);
+}
+
+TEST(XtsTest, BlocksGetDistinctTweaks) {
+  // Identical plaintext blocks must encrypt differently (unlike ECB).
+  XtsAes xts(KeyFromBytes({9}), KeyFromBytes({7}));
+  std::vector<std::uint8_t> data(32, 0x55);
+  xts.Encrypt(data, 0);
+  EXPECT_NE(0, std::memcmp(data.data(), data.data() + 16, 16));
+}
+
+TEST(XtsTest, RejectsPartialBlocks) {
+  XtsAes xts(Key128{}, Key128{});
+  std::vector<std::uint8_t> data(15);
+  EXPECT_THROW(xts.Encrypt(data, 0), std::invalid_argument);
+}
+
+// The property MILR is built around: one ciphertext bit flip destroys the
+// whole 16-byte plaintext block (≈ half of its 128 bits flip), while other
+// blocks are untouched.
+TEST(XtsTest, CiphertextBitFlipCorruptsWholeBlock) {
+  milr::Prng prng(11);
+  Key128 k1{}, k2{};
+  for (auto& b : k1) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  for (auto& b : k2) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  XtsAes xts(k1, k2);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(prng.NextBelow(256));
+  const auto original = data;
+
+  xts.Encrypt(data, 3);
+  data[16] ^= 0x01;  // single bit in the second block
+  xts.Decrypt(data, 3);
+
+  int flipped_bits_block1 = 0;
+  for (int i = 16; i < 32; ++i) {
+    flipped_bits_block1 +=
+        __builtin_popcount(static_cast<unsigned>(data[static_cast<std::size_t>(i)] ^
+                                                 original[static_cast<std::size_t>(i)]));
+  }
+  // ~64 of 128 bits expected; anything above 30 is already unrecoverable by
+  // SECDED.
+  EXPECT_GT(flipped_bits_block1, 30);
+  // All other blocks decrypt cleanly.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(data[static_cast<std::size_t>(i)], original[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 32; i < 64; ++i) {
+    EXPECT_EQ(data[static_cast<std::size_t>(i)], original[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace milr::crypto

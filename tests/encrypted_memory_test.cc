@@ -1,0 +1,108 @@
+// Plaintext-space vs ciphertext-space error behavior (the paper's core
+// motivation, Section I / Fig. 1).
+#include <gtest/gtest.h>
+
+#include "memory/encrypted_memory.h"
+#include "memory/fault_injector.h"
+#include "milr/protector.h"
+#include "nn/init.h"
+#include "support/bytes.h"
+#include "support/prng.h"
+
+namespace milr::memory {
+namespace {
+
+nn::Model SmallModel() {
+  nn::Model model(Shape{8, 8, 1});
+  model.AddConv(3, 4, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddFlatten();
+  model.AddDense(10).AddBias();
+  nn::InitHeUniform(model, 21);
+  return model;
+}
+
+TEST(EncryptedMemoryTest, RoundTripWithoutErrors) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  EncryptedParamSpace space(model, /*key_seed=*/5);
+  // Wipe the plaintext weights, then restore from ciphertext.
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    for (auto& p : model.layer(i).Params()) p = 0.0f;
+  }
+  space.DecryptInto(model);
+  const auto restored = model.SnapshotParams();
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(golden[i].size(), restored[i].size());
+    for (std::size_t p = 0; p < golden[i].size(); ++p) {
+      EXPECT_EQ(FloatBits(golden[i][p]), FloatBits(restored[i][p]));
+    }
+  }
+}
+
+TEST(EncryptedMemoryTest, OneCiphertextBitCorruptsFourWeights) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  EncryptedParamSpace space(model, 7);
+  space.FlipCiphertextBit(3);  // inside the first 16-byte block of layer 0
+  space.DecryptInto(model);
+
+  // Exactly the 4 floats of the first AES block of conv params changed,
+  // each catastrophically (many-bit damage).
+  auto params = model.layer(0).Params();
+  int damaged = 0;
+  int total_flipped_bits = 0;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const int distance = FloatBitDistance(params[p], golden[0][p]);
+    if (distance > 0) {
+      ++damaged;
+      total_flipped_bits += distance;
+      EXPECT_LT(p, 4u);  // confined to the first block
+    }
+  }
+  EXPECT_EQ(damaged, 4);
+  EXPECT_GT(total_flipped_bits, 40);  // ≈ 64 expected of 128
+  // Other layers untouched.
+  auto dense_params = model.layer(4).Params();
+  for (std::size_t p = 0; p < dense_params.size(); ++p) {
+    EXPECT_EQ(FloatBits(dense_params[p]), FloatBits(golden[4][p]));
+  }
+}
+
+TEST(EncryptedMemoryTest, CiphertextRberInjection) {
+  nn::Model model = SmallModel();
+  EncryptedParamSpace space(model, 9);
+  Prng prng(1);
+  const std::size_t flips = space.InjectCiphertextBitFlips(1e-3, prng);
+  const double expected = 1e-3 * static_cast<double>(space.CiphertextBits());
+  EXPECT_GT(flips, 0u);
+  EXPECT_NEAR(static_cast<double>(flips), expected, expected);
+}
+
+TEST(EncryptedMemoryTest, MilrHealsPlaintextBlockDamage) {
+  // The full PSEC story: ciphertext bit flip → plaintext block corruption →
+  // ECC useless (multi-bit) → MILR detects and recovers.
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  core::MilrProtector protector(model);
+  EncryptedParamSpace space(model, 11);
+
+  // Flip one ciphertext bit inside the dense layer's region. Dense region
+  // starts after conv (36 floats→144 bytes) and bias (4 floats→16 bytes).
+  const std::size_t dense_byte_offset = 144 + 16;
+  space.FlipCiphertextBit(dense_byte_offset * 8 + 5);
+  space.DecryptInto(model);
+
+  const auto detection = protector.Detect();
+  ASSERT_EQ(detection.flagged_layers.size(), 1u);
+  EXPECT_EQ(detection.flagged_layers[0], 4u);  // the dense layer
+
+  const auto recovery = protector.Recover(detection);
+  EXPECT_TRUE(recovery.all_ok());
+  auto params = model.layer(4).Params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    EXPECT_NEAR(params[p], golden[4][p], 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace milr::memory

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "memory/ecc_memory.h"
+#include "memory/fault_injector.h"
+#include "nn/init.h"
+#include "support/bytes.h"
+
+namespace milr::memory {
+namespace {
+
+nn::Model SmallModel() {
+  nn::Model model(Shape{8, 8, 1});
+  model.AddConv(3, 4, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddFlatten();
+  model.AddDense(10).AddBias();
+  nn::InitHeUniform(model, 1);
+  return model;
+}
+
+TEST(InjectBitFlipsTest, ZeroRateFlipsNothing) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(1);
+  const auto report = InjectBitFlips(model, 0.0, prng);
+  EXPECT_EQ(report.flipped_bits, 0u);
+  Prng prng2(2);
+  model.RestoreParams(golden);  // no-op check passes if nothing changed
+}
+
+TEST(InjectBitFlipsTest, RateMatchesExpectation) {
+  nn::Model model = SmallModel();
+  const double rber = 1e-3;
+  const std::size_t total_bits = model.TotalParams() * 32;
+  std::size_t total_flips = 0;
+  const int trials = 50;
+  Prng prng(3);
+  const auto golden = model.SnapshotParams();
+  for (int t = 0; t < trials; ++t) {
+    const auto report = InjectBitFlips(model, rber, prng);
+    total_flips += report.flipped_bits;
+    model.RestoreParams(golden);
+  }
+  const double expected = rber * static_cast<double>(total_bits) * trials;
+  EXPECT_NEAR(static_cast<double>(total_flips), expected, expected * 0.25);
+}
+
+TEST(InjectBitFlipsTest, ReportsTouchedLayers) {
+  nn::Model model = SmallModel();
+  Prng prng(4);
+  const auto report = InjectBitFlips(model, 0.05, prng);  // dense rate
+  EXPECT_GT(report.flipped_bits, 0u);
+  for (const auto layer : report.touched_layers) {
+    EXPECT_GT(model.layer(layer).ParamCount(), 0u);
+  }
+  // Layers are ascending and unique.
+  for (std::size_t i = 1; i < report.touched_layers.size(); ++i) {
+    EXPECT_LT(report.touched_layers[i - 1], report.touched_layers[i]);
+  }
+}
+
+TEST(InjectWholeWeightTest, FlipsAll32Bits) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(5);
+  const auto report = InjectWholeWeightErrors(model, 0.05, prng);
+  ASSERT_GT(report.corrupted_weights, 0u);
+  EXPECT_EQ(report.flipped_bits, report.corrupted_weights * 32);
+  // Every changed weight differs in all 32 bits.
+  std::size_t changed = 0;
+  std::size_t layer_idx = 0;
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    auto params = model.layer(i).Params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      if (FloatBits(params[p]) != FloatBits(golden[i][p])) {
+        EXPECT_EQ(FloatBitDistance(params[p], golden[i][p]), 32);
+        ++changed;
+      }
+    }
+    ++layer_idx;
+  }
+  EXPECT_EQ(changed, report.corrupted_weights);
+}
+
+TEST(CorruptWholeLayerTest, EveryWeightChanges) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(6);
+  const auto report = CorruptWholeLayer(model, 5, prng);  // dense layer
+  EXPECT_EQ(report.corrupted_weights, model.layer(5).ParamCount());
+  auto params = model.layer(5).Params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    EXPECT_NE(params[p], golden[5][p]);
+  }
+  // Other layers untouched.
+  auto conv_params = model.layer(0).Params();
+  for (std::size_t p = 0; p < conv_params.size(); ++p) {
+    EXPECT_EQ(conv_params[p], golden[0][p]);
+  }
+}
+
+TEST(InjectExactTest, ExactCount) {
+  nn::Model model = SmallModel();
+  Prng prng(7);
+  const auto report = InjectExactWeightErrors(model, 17, prng);
+  EXPECT_EQ(report.corrupted_weights, 17u);
+  EXPECT_EQ(report.flipped_bits, 17u * 32u);
+}
+
+TEST(InjectExactTest, CapsAtTotalWeights) {
+  nn::Model model = SmallModel();
+  Prng prng(8);
+  const auto report = InjectExactWeightErrors(model, 1 << 20, prng);
+  EXPECT_EQ(report.corrupted_weights, model.TotalParams());
+}
+
+// -------------------------------------------------------------- ECC memory
+
+TEST(EccMemoryTest, CorrectsSingleBitFlips) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  EccProtectedModel ecc(model);
+  // Flip one bit in a handful of distinct weights.
+  auto params = model.layer(4).Params();
+  params[0] = FlipFloatBit(params[0], 3);
+  params[7] = FlipFloatBit(params[7], 31);
+  params[13] = FlipFloatBit(params[13], 17);
+  const auto report = ecc.Scrub();
+  EXPECT_EQ(report.corrected, 3u);
+  EXPECT_EQ(report.detected_uncorrectable, 0u);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    EXPECT_EQ(FloatBits(params[p]), FloatBits(golden[4][p]));
+  }
+}
+
+TEST(EccMemoryTest, DetectsButCannotFixDoubleFlips) {
+  nn::Model model = SmallModel();
+  EccProtectedModel ecc(model);
+  auto params = model.layer(4).Params();
+  params[2] = FlipFloatBit(FlipFloatBit(params[2], 1), 20);
+  const auto report = ecc.Scrub();
+  EXPECT_EQ(report.corrected, 0u);
+  EXPECT_EQ(report.detected_uncorrectable, 1u);
+}
+
+TEST(EccMemoryTest, WholeWeightErrorsSurviveScrub) {
+  // The plaintext-space failure: all 32 bits flipped defeats SECDED.
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  EccProtectedModel ecc(model);
+  auto params = model.layer(4).Params();
+  params[4] = FloatFromBits(FloatBits(params[4]) ^ 0xffffffffu);
+  ecc.Scrub();
+  EXPECT_NE(FloatBits(params[4]), FloatBits(golden[4][4]));
+}
+
+TEST(EccMemoryTest, OverheadIs7BitsPerWord) {
+  nn::Model model = SmallModel();
+  EccProtectedModel ecc(model);
+  EXPECT_EQ(ecc.WordCount(), model.TotalParams());
+  EXPECT_EQ(ecc.OverheadBytes(), (model.TotalParams() * 7 + 7) / 8);
+}
+
+}  // namespace
+}  // namespace milr::memory

@@ -1,0 +1,124 @@
+// The auxiliary layers of §IV-E d: average pooling, dropout, zero padding —
+// forward semantics, training gradients and MILR handling.
+#include <gtest/gtest.h>
+
+#include "memory/fault_injector.h"
+#include "milr/protector.h"
+#include "nn/init.h"
+#include "nn/layer.h"
+#include "nn/model.h"
+#include "nn/pool.h"
+#include "support/prng.h"
+
+namespace milr::nn {
+namespace {
+
+Tensor RandomT(Shape shape, std::uint64_t seed) {
+  Prng prng(seed);
+  return RandomTensor(std::move(shape), prng);
+}
+
+TEST(AvgPoolTest, AveragesWindows) {
+  AvgPool2DLayer pool(2);
+  Tensor x(Shape{2, 2, 1});
+  x.at(0, 0, 0) = 1.0f;
+  x.at(0, 1, 0) = 2.0f;
+  x.at(1, 0, 0) = 3.0f;
+  x.at(1, 1, 0) = 6.0f;
+  const Tensor y = pool.Forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsGradientUniformly) {
+  AvgPool2DLayer pool(2);
+  const Tensor x = RandomT(Shape{4, 4, 2}, 1);
+  const Tensor y = pool.Forward(x);
+  Tensor dy(y.shape());
+  dy.Fill(4.0f);
+  const Tensor dx = pool.Backward(x, y, dy, {});
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    EXPECT_FLOAT_EQ(dx[i], 1.0f);  // 4.0 / window(4)
+  }
+}
+
+TEST(AvgPoolTest, RejectsIndivisibleInput) {
+  AvgPool2DLayer pool(3);
+  EXPECT_THROW(pool.Forward(Tensor(Shape{4, 4, 1})), std::invalid_argument);
+}
+
+TEST(DropoutTest, IdentityAtInference) {
+  DropoutLayer dropout(0.4f);
+  const Tensor x = RandomT(Shape{5, 5, 3}, 2);
+  EXPECT_EQ(MaxAbsDiff(dropout.Forward(x), x), 0.0f);
+  EXPECT_EQ(dropout.rate(), 0.4f);
+  const Tensor dy = RandomT(Shape{5, 5, 3}, 3);
+  EXPECT_EQ(MaxAbsDiff(dropout.Backward(x, x, dy, {}), dy), 0.0f);
+}
+
+TEST(ZeroPadTest, EmbedsAndCropsLosslessly) {
+  ZeroPad2DLayer pad(2);
+  const Tensor x = RandomT(Shape{5, 5, 3}, 4);
+  const Tensor y = pad.Forward(x);
+  ASSERT_EQ(y.shape(), Shape({9, 9, 3}));
+  // Border is zero.
+  EXPECT_EQ(y.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(y.at(8, 8, 2), 0.0f);
+  EXPECT_EQ(y.at(1, 4, 1), 0.0f);
+  // Interior matches, and Crop inverts exactly.
+  EXPECT_EQ(y.at(2, 2, 0), x.at(0, 0, 0));
+  EXPECT_EQ(MaxAbsDiff(pad.Crop(y), x), 0.0f);
+}
+
+TEST(ZeroPadTest, BackwardCropsGradient) {
+  ZeroPad2DLayer pad(1);
+  const Tensor x = RandomT(Shape{3, 3, 1}, 5);
+  const Tensor y = pad.Forward(x);
+  const Tensor dy = RandomT(y.shape(), 6);
+  const Tensor dx = pad.Backward(x, y, dy, {});
+  ASSERT_EQ(dx.shape(), x.shape());
+  EXPECT_EQ(dx.at(1, 1, 0), dy.at(2, 2, 0));
+}
+
+TEST(ZeroPadTest, CropRejectsTooSmall) {
+  ZeroPad2DLayer pad(3);
+  EXPECT_THROW(pad.Crop(Tensor(Shape{5, 5, 1})), std::invalid_argument);
+}
+
+// MILR end-to-end through a model containing all the auxiliary layers.
+TEST(AuxLayersMilrTest, RecoveryCrossesDropoutPadAndAvgPool) {
+  Model model(Shape{8, 8, 2});
+  model.AddZeroPad(1);                                             // 0
+  model.AddConv(3, 12, Padding::kValid).AddBias().AddReLU();       // 1,2,3
+  model.AddDropout(0.25f);                                         // 4
+  model.AddAvgPool(2);                                             // 5
+  model.AddFlatten();                                              // 6
+  model.AddDense(5).AddBias();                                     // 7,8
+  InitHeUniform(model, 77);
+  const auto golden = model.SnapshotParams();
+
+  core::MilrProtector protector(model);
+  // AvgPool forces a checkpoint; zero-pad/dropout must be pass-through.
+  EXPECT_EQ(protector.plan().layers[0].backward,
+            core::BackwardMode::kCrop);
+  EXPECT_EQ(protector.plan().layers[4].backward,
+            core::BackwardMode::kIdentity);
+  EXPECT_TRUE(protector.plan().layers[5].input_checkpoint);
+
+  // Corrupt the conv (its golden output must propagate backward through
+  // dropout to the avg-pool checkpoint) and the dense layer.
+  Prng prng(9);
+  memory::CorruptWholeLayer(model, 1, prng);
+  memory::CorruptWholeLayer(model, 7, prng);
+  const auto recovery = protector.DetectAndRecover();
+  EXPECT_TRUE(recovery.all_ok());
+  for (const std::size_t layer : {std::size_t{1}, std::size_t{7}}) {
+    auto params = model.layer(layer).Params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      EXPECT_NEAR(params[p], golden[layer][p], 1e-3f) << layer << ":" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace milr::nn

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "apps/networks.h"
+#include "nn/init.h"
+#include "nn/model.h"
+#include "nn/serialize.h"
+#include "support/prng.h"
+
+namespace milr::nn {
+namespace {
+
+Model SmallModel() {
+  Model model(Shape{8, 8, 1});
+  model.AddConv(3, 4, Padding::kValid).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddFlatten();
+  model.AddDense(5).AddBias();
+  return model;
+}
+
+TEST(ModelTest, ShapesPropagate) {
+  Model model = SmallModel();
+  EXPECT_EQ(model.ShapeAt(0), Shape({8, 8, 1}));
+  EXPECT_EQ(model.ShapeAt(1), Shape({6, 6, 4}));  // after conv
+  EXPECT_EQ(model.ShapeAt(4), Shape({3, 3, 4}));  // after pool
+  EXPECT_EQ(model.ShapeAt(5), Shape({36}));       // after flatten
+  EXPECT_EQ(model.output_shape(), Shape({5}));
+}
+
+TEST(ModelTest, LayerNamesAreStable) {
+  Model model = SmallModel();
+  EXPECT_EQ(model.layer(0).name(), "conv2d_0");
+  EXPECT_EQ(model.layer(1).name(), "bias_1");
+  EXPECT_EQ(model.layer(5).name(), "dense_5");
+}
+
+TEST(ModelTest, ForwardCollectMatchesPredict) {
+  Model model = SmallModel();
+  InitHeUniform(model, 1);
+  Prng prng(2);
+  const Tensor x = RandomTensor(model.input_shape(), prng);
+  const auto activations = model.ForwardCollect(x);
+  ASSERT_EQ(activations.size(), model.LayerCount() + 1);
+  EXPECT_EQ(MaxAbsDiff(activations.back(), model.Predict(x)), 0.0f);
+}
+
+TEST(ModelTest, TotalParamsMatchesSum) {
+  Model model = SmallModel();
+  // conv 3*3*1*4=36, bias 4, dense 36*5=180, bias 5.
+  EXPECT_EQ(model.TotalParams(), 36u + 4u + 180u + 5u);
+  EXPECT_EQ(model.TotalParamBytes(), 4u * (36 + 4 + 180 + 5));
+}
+
+TEST(ModelTest, SnapshotRestoreRoundTrip) {
+  Model model = SmallModel();
+  InitHeUniform(model, 3);
+  const auto snapshot = model.SnapshotParams();
+  model.layer(0).Params()[0] += 42.0f;
+  model.RestoreParams(snapshot);
+  Prng prng(4);
+  const Tensor x = RandomTensor(model.input_shape(), prng);
+  Model fresh = SmallModel();
+  InitHeUniform(fresh, 3);
+  EXPECT_EQ(MaxAbsDiff(model.Predict(x), fresh.Predict(x)), 0.0f);
+}
+
+TEST(ModelTest, AddDenseRequiresFlatten) {
+  Model model(Shape{4, 4, 1});
+  EXPECT_THROW(model.AddDense(3), std::invalid_argument);
+}
+
+TEST(ModelTest, ClassifyReturnsArgmax) {
+  Model model(Shape{3});
+  model.AddDense(3);
+  auto& dense = static_cast<DenseLayer&>(model.layer(0));
+  dense.weights() = Tensor(Shape{3, 3}, {0, 0, 1, 0, 0, 1, 0, 0, 1});
+  const Tensor x(Shape{3}, {1.0f, 1.0f, 1.0f});
+  EXPECT_EQ(model.Classify(x), 2u);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/milr_serialize_test.weights";
+  Model model = SmallModel();
+  InitHeUniform(model, 5);
+  ASSERT_TRUE(SaveParams(model, path).ok());
+
+  Model loaded = SmallModel();
+  InitHeUniform(loaded, 99);  // different init, then overwrite from disk
+  ASSERT_TRUE(LoadParams(loaded, path).ok());
+
+  Prng prng(6);
+  const Tensor x = RandomTensor(model.input_shape(), prng);
+  EXPECT_EQ(MaxAbsDiff(model.Predict(x), loaded.Predict(x)), 0.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, LoadRejectsWrongArchitecture) {
+  const std::string path = "/tmp/milr_serialize_mismatch.weights";
+  Model model = SmallModel();
+  InitHeUniform(model, 7);
+  ASSERT_TRUE(SaveParams(model, path).ok());
+
+  Model other(Shape{8, 8, 1});
+  other.AddFlatten();
+  other.AddDense(3);
+  EXPECT_FALSE(LoadParams(other, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  Model model = SmallModel();
+  const auto status = LoadParams(model, "/tmp/does_not_exist.weights");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------- paper architectures
+
+TEST(PaperNetworks, MnistMatchesTableI) {
+  const Model model = apps::BuildMnistNetwork();
+  // Output shapes from Table I.
+  EXPECT_EQ(model.ShapeAt(1), Shape({26, 26, 32}));
+  EXPECT_EQ(model.ShapeAt(4), Shape({24, 24, 32}));
+  EXPECT_EQ(model.ShapeAt(7), Shape({12, 12, 32}));
+  EXPECT_EQ(model.ShapeAt(10), Shape({10, 10, 64}));
+  EXPECT_EQ(model.output_shape(), Shape({10}));
+  // Trainable parameter counts (conv+bias pairs as the table groups them).
+  EXPECT_EQ(model.layer(0).ParamCount() + model.layer(1).ParamCount(), 320u);
+  EXPECT_EQ(model.layer(3).ParamCount() + model.layer(4).ParamCount(), 9248u);
+  EXPECT_EQ(model.layer(7).ParamCount() + model.layer(8).ParamCount(),
+            18496u);
+  EXPECT_EQ(model.layer(11).ParamCount() + model.layer(12).ParamCount(),
+            1638656u);
+  EXPECT_EQ(model.layer(14).ParamCount() + model.layer(15).ParamCount(),
+            2570u);
+}
+
+TEST(PaperNetworks, CifarSmallMatchesTableII) {
+  const Model model = apps::BuildCifarSmallNetwork();
+  EXPECT_EQ(model.ShapeAt(1), Shape({32, 32, 32}));
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    total += model.layer(i).ParamCount();
+  }
+  // Sum of the Trainable column of Table II.
+  EXPECT_EQ(total, 896u + 9248 + 18496 + 36928 + 73856 + 147584 + 147584 +
+                       262272 + 1290);
+}
+
+TEST(PaperNetworks, CifarLargeMatchesTableIII) {
+  const Model model = apps::BuildCifarLargeNetwork();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    total += model.layer(i).ParamCount();
+  }
+  EXPECT_EQ(total, 7296u + 230496 + 192080 + 128064 + 102464 + 153696 +
+                       1573120 + 2570);
+}
+
+}  // namespace
+}  // namespace milr::nn

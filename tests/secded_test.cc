@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "ecc/secded.h"
+#include "support/prng.h"
+
+namespace milr::ecc {
+namespace {
+
+TEST(SecdedTest, CleanWordDecodesClean) {
+  Prng prng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint32_t data = static_cast<std::uint32_t>(prng.NextU64());
+    const std::uint8_t check = SecdedEncode(data);
+    const auto decode = SecdedDecodeWord(data, check);
+    EXPECT_EQ(decode.outcome, SecdedOutcome::kClean);
+    EXPECT_EQ(decode.data, data);
+  }
+}
+
+TEST(SecdedTest, CorrectsEverySingleDataBit) {
+  Prng prng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t data = static_cast<std::uint32_t>(prng.NextU64());
+    const std::uint8_t check = SecdedEncode(data);
+    for (int bit = 0; bit < 32; ++bit) {
+      const std::uint32_t corrupted = data ^ (std::uint32_t{1} << bit);
+      const auto decode = SecdedDecodeWord(corrupted, check);
+      EXPECT_EQ(decode.outcome, SecdedOutcome::kCorrectedSingle);
+      EXPECT_EQ(decode.data, data) << "bit " << bit;
+    }
+  }
+}
+
+TEST(SecdedTest, CorrectsSingleCheckBitErrors) {
+  Prng prng(3);
+  const std::uint32_t data = static_cast<std::uint32_t>(prng.NextU64());
+  const std::uint8_t check = SecdedEncode(data);
+  for (int bit = 0; bit < 7; ++bit) {
+    const std::uint8_t corrupted =
+        static_cast<std::uint8_t>(check ^ (1 << bit));
+    const auto decode = SecdedDecodeWord(data, corrupted);
+    EXPECT_EQ(decode.outcome, SecdedOutcome::kCorrectedSingle);
+    EXPECT_EQ(decode.data, data);
+  }
+}
+
+TEST(SecdedTest, DetectsAllDoubleDataBitErrors) {
+  Prng prng(4);
+  const std::uint32_t data = static_cast<std::uint32_t>(prng.NextU64());
+  const std::uint8_t check = SecdedEncode(data);
+  for (int b1 = 0; b1 < 32; ++b1) {
+    for (int b2 = b1 + 1; b2 < 32; ++b2) {
+      const std::uint32_t corrupted =
+          data ^ (std::uint32_t{1} << b1) ^ (std::uint32_t{1} << b2);
+      const auto decode = SecdedDecodeWord(corrupted, check);
+      EXPECT_EQ(decode.outcome, SecdedOutcome::kDetectedUncorrectable)
+          << b1 << "," << b2;
+      EXPECT_EQ(decode.data, corrupted);  // no repair attempted
+    }
+  }
+}
+
+TEST(SecdedTest, WholeWordErrorIsNotCorrected) {
+  // All 32 bits flipped — the plaintext-space error class. SECDED must not
+  // restore the original word (it may mis-correct, but never repair).
+  Prng prng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t data = static_cast<std::uint32_t>(prng.NextU64());
+    const std::uint8_t check = SecdedEncode(data);
+    const auto decode = SecdedDecodeWord(~data, check);
+    EXPECT_NE(decode.data, data);
+  }
+}
+
+TEST(SecdedTest, CheckBitsDifferAcrossData) {
+  EXPECT_NE(SecdedEncode(0x00000001u), SecdedEncode(0x00000002u));
+  EXPECT_NE(SecdedEncode(0xdeadbeefu), SecdedEncode(0xdeadbeeeu));
+}
+
+}  // namespace
+}  // namespace milr::ecc

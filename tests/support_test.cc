@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/parallel.h"
+#include "support/prng.h"
+#include "support/status.h"
+
+namespace milr {
+namespace {
+
+TEST(PrngTest, DeterministicStream) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, DoubleInUnitInterval) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = prng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(PrngTest, FloatRespectsRange) {
+  Prng prng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = prng.NextFloat(-2.5f, 1.5f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 1.5f);
+  }
+}
+
+TEST(PrngTest, UniformMeanIsCentered) {
+  Prng prng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += prng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(PrngTest, BernoulliRate) {
+  Prng prng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (prng.NextBool(0.1)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+}
+
+TEST(DeriveSeedTest, StreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    seeds.insert(DeriveSeed(0x1234, s));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(DeriveSeed(5, 10), DeriveSeed(5, 10));
+  EXPECT_NE(DeriveSeed(5, 10), DeriveSeed(6, 10));
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> counts(10000);
+  ParallelFor(0, counts.size(), [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(0, 100,
+                  [](std::size_t i) {
+                    if (i == 50) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsRunSerially) {
+  std::atomic<int> total{0};
+  ParallelFor(0, 8, [&](std::size_t) {
+    ParallelFor(0, 8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(BytesTest, FlipFloatBitRoundTrips) {
+  const float x = 3.14159f;
+  for (int bit = 0; bit < 32; ++bit) {
+    const float flipped = FlipFloatBit(x, bit);
+    EXPECT_NE(FloatBits(flipped), FloatBits(x));
+    EXPECT_EQ(FloatBits(FlipFloatBit(flipped, bit)), FloatBits(x));
+    EXPECT_EQ(FloatBitDistance(x, flipped), 1);
+  }
+}
+
+TEST(BytesTest, BitDistanceCountsAllBits) {
+  const float a = FloatFromBits(0x00000000u);
+  const float b = FloatFromBits(0xffffffffu);
+  EXPECT_EQ(FloatBitDistance(a, b), 32);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status status(StatusCode::kUnsolvable, "singular");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnsolvable);
+  EXPECT_EQ(status.ToString(), "unsolvable: singular");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(41);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 41);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status(StatusCode::kNotFound, "missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_THROW(result.value(), std::logic_error);
+}
+
+TEST(ResultTest, RejectsOkStatus) {
+  EXPECT_THROW(Result<int>(Status::Ok()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace milr

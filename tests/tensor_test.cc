@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "support/prng.h"
+#include "tensor/tensor.h"
+
+namespace milr {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(Shape({2, 3, 4}).NumElements(), 24u);
+  EXPECT_EQ(Shape({7}).NumElements(), 7u);
+  EXPECT_EQ(Shape{}.NumElements(), 1u);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({26, 26, 32}).ToString(), "(26,26,32)");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{3, 3});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, RowMajorIndexing) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 5.0f);
+  t.at(0, 0) = 1.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(TensorTest, Rank3And4Indexing) {
+  Tensor t3(Shape{2, 3, 4});
+  t3.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t3[(1 * 3 + 2) * 4 + 3], 9.0f);
+
+  Tensor t4(Shape{2, 2, 2, 2});
+  t4.at(1, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(t4[((1 * 2 + 0) * 2 + 1) * 2 + 0], 7.0f);
+}
+
+TEST(TensorTest, RankMismatchThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0), std::invalid_argument);
+}
+
+TEST(TensorTest, OutOfRangeThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 3), std::out_of_range);
+}
+
+TEST(TensorTest, ConstructFromData) {
+  Tensor t(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.Reshaped(Shape{3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.Reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::Full(Shape{5}, 2.5f);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.Fill(0.0f);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a(Shape{3}, {1.0f, 2.0f, 3.0f});
+  Tensor b(Shape{3}, {1.0f, 2.5f, 2.0f});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 1.0f);
+  EXPECT_TRUE(AllClose(a, a, 0.0f));
+  EXPECT_FALSE(AllClose(a, b, 0.5f));
+}
+
+TEST(TensorTest, MaxAbsDiffShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(MaxAbsDiff(a, b), std::invalid_argument);
+}
+
+TEST(TensorTest, RandomTensorIsDeterministic) {
+  Prng p1(5);
+  Prng p2(5);
+  const Tensor a = RandomTensor(Shape{100}, p1);
+  const Tensor b = RandomTensor(Shape{100}, p2);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], -1.0f);
+    EXPECT_LT(a[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, SizeBytes) {
+  EXPECT_EQ(Tensor(Shape{10, 10}).SizeBytes(), 400u);
+}
+
+}  // namespace
+}  // namespace milr
