@@ -1,38 +1,92 @@
-// Reproduces Fig. 12: the availability / minimum-accuracy trade-off curve
-// (equation 6). Inputs are measured on this machine: Td from the detection
-// phase, Tr(n) fitted to Fig. 11-style timings; the DRAM error rate is the
-// paper's field worst case (75,000 FIT/Mbit, Schroeder et al.), and A(n) is
-// the paper's linear accuracy-degradation assumption.
+// Fig. 12, rewired to the protected inference runtime.
+//
+// The paper (and the seed version of this bench) *models* availability:
+// measure Td and Tr offline, plug them into equation 6. With src/runtime we
+// can now also *measure* it: serve live traffic through an InferenceEngine
+// while a FaultDrive campaign corrupts weights and the background scrubber
+// quarantines + repairs online. This bench does both, per network:
+//
+//   1. measure Td and Tr(n) on the live engine (ScrubNow under quarantine),
+//   2. run a live serving trial and report the runtime's own metrics
+//      (requests, p50/p99, detections, recoveries, downtime, availability),
+//   3. print the paper's eq. 6 trade-off curve from the measured inputs.
+//
+// Knobs: MILR_LIVE_SECONDS (trial length, default 3), MILR_RUNS / MILR_EVAL
+// as elsewhere.
 #include <cstdio>
+#include <cstdlib>
 
 #include "apps/experiment.h"
 #include "bench_common.h"
 #include "milr/availability.h"
-#include "support/stopwatch.h"
+#include "runtime/engine.h"
+#include "runtime/fault_drive.h"
+
+namespace {
+
+double EnvSeconds(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double parsed = std::strtod(env, nullptr);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace
 
 int main() {
   using namespace milr;
-  std::printf("Fig12 (fig12_availability): availability vs minimum accuracy "
-              "(eq. 6)\n");
+  std::printf("Fig12 (fig12_availability): live-runtime availability and the "
+              "eq. 6 trade-off\n");
+  const double live_seconds = EnvSeconds("MILR_LIVE_SECONDS", 3.0);
+
   for (const std::string network :
        {apps::kMnist, apps::kCifarSmall, apps::kCifarLarge}) {
     auto bundle = apps::LoadOrTrain(network);
-    apps::ExperimentContext context(bundle);
+    const auto golden = bundle.model->SnapshotParams();
 
-    // Measure Td (detection) on this machine.
-    Stopwatch watch;
-    context.protector().Detect();
-    const double td = watch.ElapsedSeconds();
+    // ---- 1. Measure Td and Tr(n) on the real engine (scrubber manual).
+    runtime::EngineConfig measure_config;
+    measure_config.scrubber_enabled = false;
+    runtime::InferenceEngine engine(*bundle.model, measure_config);
+    engine.Start();
 
-    // Measure Tr at a few error counts and fit the quadratic model.
-    std::vector<double> errors = {10, 200, 1000, 4000};
-    std::vector<double> seconds;
-    for (const double n : errors) {
-      seconds.push_back(
-          context.TimedRecovery(static_cast<std::size_t>(n), 0xd00d));
-    }
-    const auto tr = core::RecoveryTimeModel::Fit(errors, seconds);
+    const double td = engine.ScrubNow().detect_seconds;
+    const auto tr = apps::MeasureRecoveryCurve(
+        engine, golden, {10, 200, 1000, 4000}, /*seed=*/0xd00d);
+    engine.Stop();
 
+    std::printf("-- %s: Td=%.4fs Tr(n)=%.3f+%.2en+%.2en²\n", network.c_str(),
+                td, tr.base_seconds, tr.per_error_seconds,
+                tr.per_error_sq_seconds);
+
+    // ---- 2. Live serving trial: traffic + fault campaign + scrubber.
+    apps::LiveServingOptions live;
+    live.duration_seconds = live_seconds;
+    live.client_threads = 2;
+    live.engine.worker_threads = 2;
+    live.engine.scrub_period = std::chrono::milliseconds(200);
+    live.campaign.kind = runtime::FaultCampaign::Kind::kExactWeights;
+    live.campaign.count = 64;
+    live.campaign.period = std::chrono::milliseconds(500);
+    live.campaign.seed = 0xf16u ^ bundle.model->TotalParams();
+    const auto trial = apps::RunLiveServingTrial(bundle, live);
+    const auto& m = trial.metrics;
+    std::printf("   live %.1fs: served=%llu rps=%.1f p50=%.2fms p99=%.2fms\n",
+                trial.wall_seconds,
+                static_cast<unsigned long long>(m.requests_served),
+                m.throughput_rps, m.latency_p50_ms, m.latency_p99_ms);
+    std::printf("   faults=%llu (weights=%llu) scrubs=%llu detections=%llu "
+                "recoveries=%llu\n",
+                static_cast<unsigned long long>(m.faults_injected),
+                static_cast<unsigned long long>(m.corrupted_weights),
+                static_cast<unsigned long long>(m.scrub_cycles),
+                static_cast<unsigned long long>(m.detections),
+                static_cast<unsigned long long>(m.recoveries));
+    std::printf("   downtime=%.3fs MTTR=%.3fs measured availability=%.6f\n",
+                m.downtime_seconds, m.mttr_seconds, m.availability);
+
+    // ---- 3. The paper's eq. 6 curve from the measured inputs.
     core::AvailabilityParams params;
     params.detection_seconds = td;
     params.detections_per_cycle = 2.0;  // paper: detection runs twice
@@ -41,9 +95,7 @@ int main() {
     params.recovery = tr;
     params.accuracy_loss_per_error = 1e-5;
 
-    std::printf("-- %s: Td=%.4fs Tr(n)=%.3f+%.2en+%.2en² Tbe=%.0fh\n",
-                network.c_str(), td, tr.base_seconds, tr.per_error_seconds,
-                tr.per_error_sq_seconds,
+    std::printf("   eq.6 with measured Td/Tr (Tbe=%.0fh):\n",
                 params.time_between_errors_s / 3600.0);
     std::printf("   %-14s %-12s %-12s\n", "cycle", "availability",
                 "min accuracy");

@@ -1,50 +1,113 @@
-// Mission planning with the availability/accuracy trade-off (Section V-E).
+// Mission planning with the availability/accuracy trade-off (Section V-E) —
+// now driven by the real protected runtime instead of hand-entered numbers.
 //
-// Given a deployment's DRAM failure rate and a network's measured detection
-// and recovery costs, equation 6 tells you how often to run MILR's
-// detection phase: frequent repair keeps worst-case accuracy high but burns
-// availability, and vice versa. This example plans both of the paper's
-// users: A needs ≥99.999% accuracy (e.g. a safety function), B needs
-// ≥99.9% availability (e.g. a recommender).
+// The seed version of this example planned from constants a deployment
+// engineer would "measure or look up". With src/runtime the measurement is
+// part of the program: it stands up a live InferenceEngine, measures the
+// detection cost Td and the recovery-time curve Tr(n) on that engine
+// (quarantine included, i.e. what serving actually loses), demonstrates one
+// online fault→detect→recover round under traffic, and then plans both of
+// the paper's users with equation 6: A needs ≥99.999% accuracy (a safety
+// function), B needs ≥99.9% availability (a recommender).
 //
 //   ./build/examples/availability_planner
+#include <chrono>
 #include <cstdio>
 
+#include "apps/experiment.h"
 #include "milr/availability.h"
+#include "nn/init.h"
+#include "nn/model.h"
+#include "runtime/engine.h"
+#include "runtime/fault_drive.h"
+#include "support/prng.h"
 
 int main() {
-  using namespace milr::core;
+  using namespace milr;
 
-  // Inputs a deployment engineer would measure or look up. These defaults
-  // mirror the paper's assumptions: 75,000 FIT/Mbit field error rate, a
-  // ~1.7M-parameter network, detection costing about one inference, and a
-  // recovery-time model fitted from Fig. 11-style measurements.
-  const std::size_t param_count = 1670000;
-  AvailabilityParams params;
-  params.detection_seconds = 0.02;
+  // A demonstrator CNN. Its *measured* Td/Tr feed the planner; the
+  // deployment-scale error rate below is what sets Tbe.
+  nn::Model model(Shape{12, 12, 1});
+  model.AddConv(3, 8, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddFlatten();
+  model.AddDense(16).AddBias().AddReLU();
+  model.AddDense(4).AddBias();
+  nn::InitHeUniform(model, /*seed=*/1);
+  const auto golden = model.SnapshotParams();
+
+  runtime::EngineConfig config;
+  // Detection/recovery run via explicit ScrubNow() below; a background
+  // sweep would race the timed measurement cycles.
+  config.scrubber_enabled = false;
+  runtime::InferenceEngine engine(model, config);
+  engine.Start();
+  std::printf("live engine: %zu layers, %zu parameters, %zu workers\n",
+              model.LayerCount(), model.TotalParams(),
+              engine.config().worker_threads);
+
+  // ---- Measure Td on the live engine (clean cycle = pure detection).
+  const double td = engine.ScrubNow().detect_seconds;
+
+  // ---- Measure Tr(n): inject n exact weight errors, time the quarantined
+  //      repair the scrubber performs, restore golden between points.
+  const auto tr = apps::MeasureRecoveryCurve(engine, golden, {8, 64, 256},
+                                             /*seed=*/0xbeef);
+  std::printf("measured on this engine: Td=%.5fs  Tr(n)=%.4f+%.2en+%.2en²\n",
+              td, tr.base_seconds, tr.per_error_seconds,
+              tr.per_error_sq_seconds);
+
+  // ---- One live round: serve traffic, then a whole-layer overwrite under
+  //      the scrubber's watch, then serve again from the healed model.
+  Prng traffic_prng(42);
+  const Tensor probe = RandomTensor(model.input_shape(), traffic_prng);
+  for (int i = 0; i < 50; ++i) engine.Predict(probe);
+
+  runtime::FaultCampaign campaign;
+  campaign.kind = runtime::FaultCampaign::Kind::kWholeLayer;
+  campaign.max_events = 1;
+  campaign.period = std::chrono::milliseconds(1);
+  campaign.seed = 7;
+  runtime::FaultDrive drive(engine, campaign);
+  drive.FireOnce();
+  for (int cycle = 0; cycle < 5 && engine.Snapshot().recoveries < 1;
+       ++cycle) {
+    engine.ScrubNow();
+  }
+  for (int i = 0; i < 50; ++i) engine.Predict(probe);  // healed traffic
+  const auto metrics = engine.Snapshot();
+  std::printf("\nonline self-healing round (cumulative metrics):\n%s\n",
+              metrics.ToJson().c_str());
+  engine.Stop();
+
+  // ---- Plan a deployment with eq. 6. The fault domain is the deployment
+  //      network (paper scale, ~1.7M parameters); Td/Tr are the measured
+  //      engine costs above.
+  const std::size_t deployed_params = 1670000;
+  core::AvailabilityParams params;
+  params.detection_seconds = td;
   params.detections_per_cycle = 2.0;
-  params.time_between_errors_s = 3600.0 / ErrorsPerHour(param_count);
-  params.recovery.base_seconds = 0.5;
-  params.recovery.per_error_seconds = 2e-3;
-  params.recovery.per_error_sq_seconds = 1e-7;
+  params.time_between_errors_s = 3600.0 / core::ErrorsPerHour(deployed_params);
+  params.recovery = tr;
   params.accuracy_loss_per_error = 1e-5;
 
-  std::printf("network: %zu parameters -> mean time between errors %.0f h\n",
-              param_count, params.time_between_errors_s / 3600.0);
+  std::printf("\ndeployment: %zu parameters -> mean time between errors "
+              "%.0f h\n",
+              deployed_params, params.time_between_errors_s / 3600.0);
 
   std::printf("\nrepair-cycle sweep (eq. 6):\n");
   std::printf("  %-14s %-14s %-12s\n", "cycle", "availability",
               "min accuracy");
   for (const auto& point :
-       AvailabilityAccuracyCurve(params, 60.0, 3.15e7, 10)) {
+       core::AvailabilityAccuracyCurve(params, 60.0, 3.15e7, 10)) {
     std::printf("  %12.0fs   %.8f   %.6f\n", point.cycle_seconds,
                 point.availability, point.min_accuracy);
   }
 
   const double user_a =
-      BestAvailabilityAtAccuracy(params, 0.99999, 60.0, 3.15e7);
+      core::BestAvailabilityAtAccuracy(params, 0.99999, 60.0, 3.15e7);
   const double user_b =
-      BestAccuracyAtAvailability(params, 0.999, 60.0, 3.15e7);
+      core::BestAccuracyAtAvailability(params, 0.999, 60.0, 3.15e7);
   std::printf("\nuser A (min accuracy 99.999%%): best availability %.8f\n",
               user_a);
   std::printf("user B (availability 99.9%%):   best min accuracy %.6f\n",

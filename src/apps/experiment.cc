@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <thread>
 
 #include "support/parallel.h"
 #include "support/stopwatch.h"
@@ -181,6 +184,80 @@ std::string FormatBoxRow(const std::string& label, const BoxStats& stats) {
                 label.c_str(), stats.median, stats.q25, stats.q75, stats.min,
                 stats.max);
   return line;
+}
+
+LiveServingResult RunLiveServingTrial(NetworkBundle& bundle,
+                                      const LiveServingOptions& options) {
+  nn::Model& model = *bundle.model;
+  const auto golden = model.SnapshotParams();
+
+  runtime::InferenceEngine engine(model, options.engine);
+  engine.Start();
+
+  std::atomic<bool> stop_clients{false};
+  std::vector<std::thread> clients;
+  const std::size_t client_count =
+      std::max<std::size_t>(1, options.client_threads);
+  for (std::size_t c = 0; c < client_count; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client replays the test set round-robin from its own offset.
+      std::size_t i = c * 37 % std::max<std::size_t>(1, bundle.test.size());
+      while (!stop_clients.load(std::memory_order_relaxed)) {
+        if (bundle.test.images.empty()) break;
+        engine.Predict(bundle.test.images[i]);
+        i = (i + 1) % bundle.test.images.size();
+      }
+    });
+  }
+
+  std::unique_ptr<runtime::FaultDrive> drive;
+  if (options.inject_faults) {
+    drive = std::make_unique<runtime::FaultDrive>(engine, options.campaign);
+    drive->Start();
+  }
+
+  Stopwatch wall;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(options.duration_seconds));
+
+  if (drive) drive->Stop();
+  stop_clients.store(true);
+  for (auto& client : clients) client.join();
+
+  LiveServingResult result;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.metrics = engine.Snapshot();
+  result.fault_events = drive ? drive->events() : 0;
+
+  // Leave the bundle exactly as we found it for the next experiment.
+  engine.WithModelExclusive(
+      [&](nn::Model& live) { live.RestoreParams(golden); });
+  engine.Stop();
+  return result;
+}
+
+core::RecoveryTimeModel MeasureRecoveryCurve(
+    runtime::InferenceEngine& engine,
+    const std::vector<std::vector<float>>& golden,
+    const std::vector<double>& error_counts, std::uint64_t seed) {
+  if (engine.config().scrubber_enabled) {
+    throw std::invalid_argument(
+        "MeasureRecoveryCurve: disable the background scrubber for "
+        "measurement (it races the timed cycles)");
+  }
+  std::vector<double> seconds;
+  for (const double n : error_counts) {
+    Prng prng(DeriveSeed(seed, static_cast<std::uint64_t>(n)));
+    engine.InjectFault([&](nn::Model& model) {
+      return memory::InjectExactWeightErrors(
+          model, static_cast<std::size_t>(n), prng);
+    });
+    const auto scrub = engine.ScrubNow();
+    seconds.push_back(scrub.detect_seconds + scrub.outage_seconds);
+    engine.WithModelExclusive(
+        [&](nn::Model& model) { model.RestoreParams(golden); });
+  }
+  return core::RecoveryTimeModel::Fit(error_counts, seconds);
 }
 
 }  // namespace milr::apps

@@ -13,7 +13,10 @@
 #include "apps/networks.h"
 #include "memory/ecc_memory.h"
 #include "memory/fault_injector.h"
+#include "milr/availability.h"
 #include "milr/protector.h"
+#include "runtime/engine.h"
+#include "runtime/fault_drive.h"
 
 namespace milr::apps {
 
@@ -108,5 +111,40 @@ class ExperimentContext {
 
 /// Formats one sweep row: "rate  median q25 q75 min max".
 std::string FormatBoxRow(const std::string& label, const BoxStats& stats);
+
+// ------------------------------------------------------------- live runtime
+
+/// Configuration for a live availability trial: how long to serve, how much
+/// client pressure, how the engine is tuned, and the fault-arrival process.
+struct LiveServingOptions {
+  double duration_seconds = 2.0;
+  std::size_t client_threads = 2;
+  runtime::EngineConfig engine;
+  runtime::FaultCampaign campaign;
+  bool inject_faults = true;
+};
+
+struct LiveServingResult {
+  runtime::MetricsSnapshot metrics;  // measured by the engine itself
+  double wall_seconds = 0.0;
+  std::size_t fault_events = 0;
+};
+
+/// The live counterpart of the paper's analytic availability model: serves
+/// the bundle's test set through an InferenceEngine while a FaultDrive
+/// campaign attacks parameter memory and the background scrubber repairs it
+/// online. The bundle's weights are restored to golden before returning.
+LiveServingResult RunLiveServingTrial(NetworkBundle& bundle,
+                                      const LiveServingOptions& options);
+
+/// Measures the recovery-time curve Tr(n) on a live engine: for each count
+/// in `error_counts`, injects that many exact weight errors, times the
+/// quarantined detect+recover cycle, and restores `golden`. Throws
+/// std::invalid_argument if the engine's background scrubber is enabled —
+/// it would race the timed cycles and silently zero out points.
+core::RecoveryTimeModel MeasureRecoveryCurve(
+    runtime::InferenceEngine& engine,
+    const std::vector<std::vector<float>>& golden,
+    const std::vector<double>& error_counts, std::uint64_t seed);
 
 }  // namespace milr::apps

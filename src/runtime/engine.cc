@@ -1,0 +1,103 @@
+#include "runtime/engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace milr::runtime {
+
+InferenceEngine::InferenceEngine(nn::Model& model, EngineConfig config)
+    : model_(&model),
+      config_(config),
+      protector_(std::make_unique<core::MilrProtector>(model, config.milr)),
+      queue_(config.queue_capacity) {
+  scrubber_ = std::make_unique<Scrubber>(*protector_, model_mutex_, metrics_,
+                                         ScrubberConfig{config_.scrub_period});
+}
+
+InferenceEngine::~InferenceEngine() { Stop(); }
+
+void InferenceEngine::Start() {
+  if (stopped_.load()) {
+    throw std::logic_error("InferenceEngine cannot be restarted after Stop");
+  }
+  if (running_.exchange(true)) return;
+  metrics_.MarkStarted();
+  const std::size_t workers = std::max<std::size_t>(1, config_.worker_threads);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (config_.scrubber_enabled) scrubber_->Start();
+}
+
+void InferenceEngine::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  scrubber_->Stop();
+  running_.store(false);
+}
+
+std::future<Tensor> InferenceEngine::Submit(Tensor input) {
+  Request request;
+  request.input = std::move(input);
+  std::future<Tensor> future = request.result.get_future();
+  if (!queue_.Push(std::move(request))) {
+    throw std::runtime_error("InferenceEngine: submit after Stop");
+  }
+  return future;
+}
+
+std::optional<std::future<Tensor>> InferenceEngine::TrySubmit(Tensor input) {
+  Request request;
+  request.input = std::move(input);
+  std::future<Tensor> future = request.result.get_future();
+  if (!queue_.TryPush(request)) {
+    metrics_.RecordRejected();
+    return std::nullopt;
+  }
+  return future;
+}
+
+Tensor InferenceEngine::Predict(const Tensor& input) {
+  return Submit(Tensor(input)).get();
+}
+
+ScrubReport InferenceEngine::ScrubNow() { return scrubber_->RunCycle(); }
+
+memory::InjectionReport InferenceEngine::InjectFault(
+    const std::function<memory::InjectionReport(nn::Model&)>& attack) {
+  std::unique_lock<std::shared_mutex> lock(model_mutex_);
+  memory::InjectionReport report = attack(*model_);
+  metrics_.RecordInjection(report.corrupted_weights);
+  return report;
+}
+
+void InferenceEngine::WithModelExclusive(
+    const std::function<void(nn::Model&)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(model_mutex_);
+  fn(*model_);
+}
+
+void InferenceEngine::WorkerLoop() {
+  while (auto request = queue_.Pop()) {
+    try {
+      Tensor output;
+      {
+        std::shared_lock<std::shared_mutex> lock(model_mutex_);
+        output = model_->Predict(request->input);
+      }
+      // Record before fulfilling the promise: a client observing its
+      // result must also observe the request in the served counter.
+      metrics_.RecordLatency(request->queued.ElapsedMillis());
+      request->result.set_value(std::move(output));
+    } catch (...) {
+      request->result.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace milr::runtime

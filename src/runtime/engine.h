@@ -1,0 +1,122 @@
+// InferenceEngine: MILR as an always-on, self-healing serving layer.
+//
+// The batch experiments (src/apps) answer "does recovery work?"; the engine
+// answers the production question the ROADMAP asks: what throughput and
+// availability does a *live* protected service sustain under continuous
+// fault arrival? It owns four moving parts:
+//
+//   clients ──Submit──▶ BoundedQueue ──▶ worker pool ──Predict──▶ futures
+//                                          │ shared lock
+//                    Scrubber (detect concurrently; quarantine + MILR
+//                    recovery on a flagged layer)      │ exclusive lock
+//                    FaultDrive / InjectFault (attacks)│ exclusive lock
+//
+// The reader/writer discipline is the whole design: inference and the cheap
+// detection phase share the model; recovery and fault injection quarantine
+// it. Downtime is therefore *exactly* the time spent holding the exclusive
+// lock for repair — the quantity eq. 6 models and Metrics measures.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "memory/fault_injector.h"
+#include "milr/config.h"
+#include "milr/protector.h"
+#include "nn/model.h"
+#include "runtime/metrics.h"
+#include "runtime/request_queue.h"
+#include "runtime/scrubber.h"
+#include "support/stopwatch.h"
+#include "tensor/tensor.h"
+
+namespace milr::runtime {
+
+struct EngineConfig {
+  std::size_t worker_threads = 2;
+  std::size_t queue_capacity = 256;
+  bool scrubber_enabled = true;
+  std::chrono::milliseconds scrub_period{50};
+  /// Protection preset for the embedded MilrProtector. The extended preset
+  /// matters here: its detection tolerance keeps a layer recovered online
+  /// (float-rounding residue) from being re-flagged every cycle.
+  core::MilrConfig milr = core::ExtendedMilrConfig();
+};
+
+class InferenceEngine {
+ public:
+  /// `model` must be in its golden state (initialization records the
+  /// protection data) and must outlive the engine. The engine does not own
+  /// the model, mirroring MilrProtector.
+  explicit InferenceEngine(nn::Model& model, EngineConfig config = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Spawns the worker pool (and the scrubber when enabled). Requests may
+  /// be queued before Start(), but nothing is served until it runs.
+  void Start();
+
+  /// Stops admission, drains every queued request, joins workers and the
+  /// scrubber. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Enqueues a request; blocks for backpressure while the queue is full.
+  /// Throws std::runtime_error if the engine has been stopped.
+  std::future<Tensor> Submit(Tensor input);
+
+  /// Load-shedding admission: nullopt (and a rejection metric) when full.
+  std::optional<std::future<Tensor>> TrySubmit(Tensor input);
+
+  /// Synchronous convenience: Submit and wait.
+  Tensor Predict(const Tensor& input);
+
+  /// Runs one synchronous scrub cycle (see Scrubber::RunCycle).
+  ScrubReport ScrubNow();
+
+  /// Fault-drive hook: runs `attack` against the live parameter memory
+  /// under quarantine (data-race-free with the worker pool) and records it.
+  memory::InjectionReport InjectFault(
+      const std::function<memory::InjectionReport(nn::Model&)>& attack);
+
+  /// Maintenance hook: exclusive access to the model without counting an
+  /// injection (golden-restore between benchmark phases, etc.).
+  void WithModelExclusive(const std::function<void(nn::Model&)>& fn);
+
+  MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
+  Metrics& metrics() { return metrics_; }
+  const nn::Model& model() const { return *model_; }
+  core::MilrProtector& protector() { return *protector_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    Tensor input;
+    std::promise<Tensor> result;
+    Stopwatch queued;  // stamps admission; latency = queue wait + service
+  };
+
+  void WorkerLoop();
+
+  nn::Model* model_;
+  EngineConfig config_;
+  std::unique_ptr<core::MilrProtector> protector_;
+  mutable std::shared_mutex model_mutex_;
+  Metrics metrics_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Scrubber> scrubber_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace milr::runtime

@@ -1,0 +1,74 @@
+#include "runtime/fault_drive.h"
+
+namespace milr::runtime {
+
+FaultDrive::FaultDrive(InferenceEngine& engine, FaultCampaign campaign)
+    : engine_(&engine), campaign_(campaign), prng_(campaign.seed) {
+  const nn::Model& model = engine.model();
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    if (model.layer(i).ParamCount() > 0) param_layers_.push_back(i);
+  }
+}
+
+FaultDrive::~FaultDrive() { Stop(); }
+
+void FaultDrive::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FaultDrive::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+memory::InjectionReport FaultDrive::FireOnce() {
+  std::lock_guard<std::mutex> lock(fire_mutex_);
+  const auto report =
+      engine_->InjectFault([this](nn::Model& model) {
+        switch (campaign_.kind) {
+          case FaultCampaign::Kind::kBitFlips:
+            return memory::InjectBitFlips(model, campaign_.rate, prng_);
+          case FaultCampaign::Kind::kWholeWeight:
+            return memory::InjectWholeWeightErrors(model, campaign_.rate,
+                                                   prng_);
+          case FaultCampaign::Kind::kWholeLayer: {
+            const std::size_t target = param_layers_.empty()
+                ? 0
+                : param_layers_[prng_.NextBelow(param_layers_.size())];
+            return memory::CorruptWholeLayer(model, target, prng_);
+          }
+          case FaultCampaign::Kind::kExactWeights:
+            return memory::InjectExactWeightErrors(model, campaign_.count,
+                                                   prng_);
+        }
+        return memory::InjectionReport{};
+      });
+  events_.fetch_add(1);
+  return report;
+}
+
+void FaultDrive::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_.wait_for(lock, campaign_.period,
+                     [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    if (campaign_.max_events > 0 && events_.load() >= campaign_.max_events) {
+      return;
+    }
+    FireOnce();
+  }
+}
+
+}  // namespace milr::runtime

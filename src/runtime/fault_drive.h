@@ -1,0 +1,72 @@
+// FaultDrive: points the paper's fault-injection campaigns at a *live*
+// engine. Where the batch experiments corrupt a quiescent model, the drive
+// fires the same injectors (src/memory/fault_injector) through
+// InferenceEngine::InjectFault on a schedule, so faults interleave with
+// real traffic and the scrubber's repair loop — the continuous-arrival
+// regime Fig. 12's availability model assumes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "memory/fault_injector.h"
+#include "runtime/engine.h"
+#include "support/prng.h"
+
+namespace milr::runtime {
+
+struct FaultCampaign {
+  enum class Kind {
+    kBitFlips,      // RBER process (experiment 1)
+    kWholeWeight,   // all-32-bit weight errors (experiment 2)
+    kWholeLayer,    // random whole-layer overwrite (experiment 3)
+    kExactWeights,  // exactly `count` whole-weight errors per event
+  };
+
+  Kind kind = Kind::kExactWeights;
+  double rate = 1e-6;               // rber (kBitFlips) or q (kWholeWeight)
+  std::size_t count = 16;           // weights per event (kExactWeights)
+  std::chrono::milliseconds period{250};
+  std::size_t max_events = 0;       // 0 = fire until Stop()
+  std::uint64_t seed = 0xfa017u;
+};
+
+class FaultDrive {
+ public:
+  /// `engine` must outlive the drive.
+  FaultDrive(InferenceEngine& engine, FaultCampaign campaign);
+  ~FaultDrive();
+
+  FaultDrive(const FaultDrive&) = delete;
+  FaultDrive& operator=(const FaultDrive&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Fires one campaign event immediately (also used by the loop).
+  memory::InjectionReport FireOnce();
+
+  std::size_t events() const { return events_.load(); }
+
+ private:
+  void Loop();
+
+  InferenceEngine* engine_;
+  FaultCampaign campaign_;
+  Prng prng_;
+  std::vector<std::size_t> param_layers_;  // targets for kWholeLayer
+  std::atomic<std::size_t> events_{0};
+  std::mutex fire_mutex_;  // serializes FireOnce with the loop
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace milr::runtime

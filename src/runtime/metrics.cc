@@ -1,0 +1,147 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace milr::runtime {
+namespace {
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void AppendField(std::string& out, const char* key, double value,
+                 bool last = false) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %.6f%s", key, value,
+                last ? "" : ", ");
+  out += buffer;
+}
+
+void AppendField(std::string& out, const char* key, std::uint64_t value,
+                 bool last = false) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value), last ? "" : ", ");
+  out += buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendField(out, "requests_served", requests_served);
+  AppendField(out, "requests_rejected", requests_rejected);
+  AppendField(out, "scrub_cycles", scrub_cycles);
+  AppendField(out, "detections", detections);
+  AppendField(out, "layers_flagged", layers_flagged);
+  AppendField(out, "recoveries", recoveries);
+  AppendField(out, "layers_recovered", layers_recovered);
+  AppendField(out, "faults_injected", faults_injected);
+  AppendField(out, "corrupted_weights", corrupted_weights);
+  AppendField(out, "uptime_seconds", uptime_seconds);
+  AppendField(out, "downtime_seconds", downtime_seconds);
+  AppendField(out, "availability", availability);
+  AppendField(out, "mttr_seconds", mttr_seconds);
+  AppendField(out, "latency_mean_ms", latency_mean_ms);
+  AppendField(out, "latency_p50_ms", latency_p50_ms);
+  AppendField(out, "latency_p99_ms", latency_p99_ms);
+  AppendField(out, "throughput_rps", throughput_rps, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+void Metrics::MarkStarted() { started_ = Clock::now(); }
+
+void Metrics::RecordLatency(double millis) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latency_ring_.size() < kLatencyWindow) {
+    latency_ring_.push_back(millis);
+  } else {
+    latency_ring_[latency_next_] = millis;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+void Metrics::RecordRejected() {
+  requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::RecordScrubCycle() {
+  scrub_cycles_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::RecordDetection(std::size_t flagged_layers) {
+  detections_.fetch_add(1, std::memory_order_relaxed);
+  layers_flagged_.fetch_add(flagged_layers, std::memory_order_relaxed);
+}
+
+void Metrics::RecordRecovery(std::size_t layers_recovered,
+                             double outage_seconds) {
+  if (layers_recovered > 0) {
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+    layers_recovered_.fetch_add(layers_recovered, std::memory_order_relaxed);
+  }
+  downtime_nanos_.fetch_add(static_cast<std::uint64_t>(outage_seconds * 1e9),
+                            std::memory_order_relaxed);
+}
+
+void Metrics::RecordInjection(std::size_t corrupted_weights) {
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  corrupted_weights_.fetch_add(corrupted_weights, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.requests_served = requests_served_.load(std::memory_order_relaxed);
+  snap.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  snap.scrub_cycles = scrub_cycles_.load(std::memory_order_relaxed);
+  snap.detections = detections_.load(std::memory_order_relaxed);
+  snap.layers_flagged = layers_flagged_.load(std::memory_order_relaxed);
+  snap.recoveries = recoveries_.load(std::memory_order_relaxed);
+  snap.layers_recovered = layers_recovered_.load(std::memory_order_relaxed);
+  snap.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  snap.corrupted_weights = corrupted_weights_.load(std::memory_order_relaxed);
+
+  snap.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  snap.downtime_seconds =
+      static_cast<double>(downtime_nanos_.load(std::memory_order_relaxed)) /
+      1e9;
+  snap.availability =
+      snap.uptime_seconds > 0.0
+          ? 1.0 - std::min(snap.downtime_seconds, snap.uptime_seconds) /
+                      snap.uptime_seconds
+          : 1.0;
+  snap.mttr_seconds = snap.recoveries > 0
+                          ? snap.downtime_seconds /
+                                static_cast<double>(snap.recoveries)
+                          : 0.0;
+  snap.throughput_rps =
+      snap.uptime_seconds > 0.0
+          ? static_cast<double>(snap.requests_served) / snap.uptime_seconds
+          : 0.0;
+
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    window = latency_ring_;
+  }
+  if (!window.empty()) {
+    double sum = 0.0;
+    for (const double v : window) sum += v;
+    snap.latency_mean_ms = sum / static_cast<double>(window.size());
+    std::sort(window.begin(), window.end());
+    snap.latency_p50_ms = Quantile(window, 0.5);
+    snap.latency_p99_ms = Quantile(window, 0.99);
+  }
+  return snap;
+}
+
+}  // namespace milr::runtime

@@ -1,0 +1,90 @@
+// Metrics registry for the protected inference runtime.
+//
+// Counters are written from four kinds of threads at once (client submit
+// paths, inference workers, the scrubber, the fault drive), so everything
+// hot is a relaxed atomic; the latency reservoir — needed for percentiles —
+// is a mutex-guarded ring of the most recent samples. Snapshot() is the
+// only read path and computes the derived quantities (availability, MTTR,
+// p50/p99, throughput) the availability experiments report.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace milr::runtime {
+
+/// Point-in-time view of the runtime's counters (totals since Start()).
+struct MetricsSnapshot {
+  std::uint64_t requests_served = 0;
+  std::uint64_t requests_rejected = 0;   // load shed at the queue bound
+  std::uint64_t scrub_cycles = 0;
+  std::uint64_t detections = 0;          // scrub cycles that flagged layers
+  std::uint64_t layers_flagged = 0;
+  std::uint64_t recoveries = 0;          // online recovery events
+  std::uint64_t layers_recovered = 0;
+  std::uint64_t faults_injected = 0;     // fault-drive events against us
+  std::uint64_t corrupted_weights = 0;   // weights hit by those events
+
+  double uptime_seconds = 0.0;           // wall time since Start()
+  double downtime_seconds = 0.0;         // total quarantine (recovery) time
+  double availability = 1.0;             // 1 - downtime / uptime
+  double mttr_seconds = 0.0;             // downtime / recoveries
+
+  double latency_mean_ms = 0.0;          // over the recent-sample window
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double throughput_rps = 0.0;           // requests_served / uptime
+
+  /// Flat JSON object with every field above, for dashboards and logs.
+  std::string ToJson() const;
+};
+
+/// Thread-safe registry shared by the engine, scrubber and fault drive.
+class Metrics {
+ public:
+  /// Window of recent latency samples kept for percentile estimation.
+  static constexpr std::size_t kLatencyWindow = 1 << 14;
+
+  /// Stamps the uptime epoch; called by InferenceEngine::Start().
+  void MarkStarted();
+
+  /// Records one served request and its end-to-end latency.
+  void RecordLatency(double millis);
+  void RecordRejected();
+
+  void RecordScrubCycle();
+  void RecordDetection(std::size_t flagged_layers);
+  /// Records a quarantine of `outage_seconds`; counts a recovery event when
+  /// at least one layer was actually repaired.
+  void RecordRecovery(std::size_t layers_recovered, double outage_seconds);
+  void RecordInjection(std::size_t corrupted_weights);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> scrub_cycles_{0};
+  std::atomic<std::uint64_t> detections_{0};
+  std::atomic<std::uint64_t> layers_flagged_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> layers_recovered_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> corrupted_weights_{0};
+  // Seconds stored as nanosecond integers so they can be atomics too.
+  std::atomic<std::uint64_t> downtime_nanos_{0};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_ring_;     // most recent kLatencyWindow samples
+  std::size_t latency_next_ = 0;
+
+  Clock::time_point started_ = Clock::now();
+};
+
+}  // namespace milr::runtime

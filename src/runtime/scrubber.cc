@@ -1,0 +1,85 @@
+#include "runtime/scrubber.h"
+
+#include "support/stopwatch.h"
+
+namespace milr::runtime {
+
+Scrubber::Scrubber(core::MilrProtector& protector,
+                   std::shared_mutex& model_mutex, Metrics& metrics,
+                   ScrubberConfig config)
+    : protector_(&protector),
+      model_mutex_(&model_mutex),
+      metrics_(&metrics),
+      config_(config) {}
+
+Scrubber::~Scrubber() { Stop(); }
+
+void Scrubber::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Scrubber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Scrubber::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_.wait_for(lock, config_.period, [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    RunCycle();
+  }
+}
+
+ScrubReport Scrubber::RunCycle() {
+  std::lock_guard<std::mutex> cycle_lock(cycle_mutex_);
+  ScrubReport report;
+
+  Stopwatch detect_watch;
+  core::DetectionReport detection;
+  {
+    std::shared_lock<std::shared_mutex> lock(*model_mutex_);
+    detection = protector_->Detect();
+  }
+  report.detect_seconds = detect_watch.ElapsedSeconds();
+  metrics_->RecordScrubCycle();
+  if (!detection.any()) return report;
+
+  report.flagged_layers = detection.flagged_layers.size();
+  metrics_->RecordDetection(detection.flagged_layers.size());
+
+  Stopwatch outage;
+  {
+    std::unique_lock<std::shared_mutex> lock(*model_mutex_);
+    // Faults may have landed between the concurrent detect and acquiring
+    // the exclusive lock; re-detect so recovery sees the full damage.
+    detection = protector_->Detect();
+    if (detection.any()) {
+      const auto recovery = protector_->Recover(detection);
+      for (const auto& layer : recovery.layers) {
+        if (layer.status.ok()) {
+          ++report.recovered_layers;
+        } else {
+          report.recovery_ok = false;
+        }
+      }
+    }
+  }
+  report.outage_seconds = outage.ElapsedSeconds();
+  metrics_->RecordRecovery(report.recovered_layers, report.outage_seconds);
+  return report;
+}
+
+}  // namespace milr::runtime

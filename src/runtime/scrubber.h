@@ -1,0 +1,74 @@
+// Background integrity scrubber: MILR's detection phase as a daemon.
+//
+// The paper runs detection as a one-shot experiment; a live service instead
+// sweeps continuously. Each cycle runs the *cheap* phase (partial-checkpoint
+// signature compare) under a shared (reader) lock so it executes fully
+// concurrently with inference. Only when a layer is flagged does the
+// scrubber quarantine the model: taking the exclusive lock drains in-flight
+// predictions and gates new ones, MILR recovery rewrites the damaged
+// weights, and serving resumes. The quarantine duration is the downtime
+// eq. 6 charges — Metrics records it so measured availability can be held
+// against the paper's analytic model.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "milr/protector.h"
+#include "runtime/metrics.h"
+
+namespace milr::runtime {
+
+/// Outcome of one scrub cycle.
+struct ScrubReport {
+  std::size_t flagged_layers = 0;
+  std::size_t recovered_layers = 0;
+  bool recovery_ok = true;      // false if any layer recovery failed
+  double detect_seconds = 0.0;  // concurrent (reader-side) detection cost
+  double outage_seconds = 0.0;  // exclusive quarantine duration (downtime)
+};
+
+struct ScrubberConfig {
+  std::chrono::milliseconds period{50};
+};
+
+class Scrubber {
+ public:
+  /// All references must outlive the scrubber. `model_mutex` is the
+  /// engine's reader/writer gate over the model's parameter memory.
+  Scrubber(core::MilrProtector& protector, std::shared_mutex& model_mutex,
+           Metrics& metrics, ScrubberConfig config);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Starts / stops the background sweep thread. Stop() is prompt: a
+  /// sleeping scrubber wakes immediately instead of finishing its period.
+  void Start();
+  void Stop();
+
+  /// Runs one synchronous cycle (detect → quarantine+recover if needed).
+  /// Safe to call while the background thread runs; cycles are serialized.
+  ScrubReport RunCycle();
+
+ private:
+  void Loop();
+
+  core::MilrProtector* protector_;
+  std::shared_mutex* model_mutex_;
+  Metrics* metrics_;
+  ScrubberConfig config_;
+
+  std::mutex cycle_mutex_;  // serializes RunCycle across threads
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace milr::runtime

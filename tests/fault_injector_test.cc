@@ -27,6 +27,88 @@ TEST(InjectBitFlipsTest, ZeroRateFlipsNothing) {
   model.RestoreParams(golden);  // no-op check passes if nothing changed
 }
 
+TEST(InjectBitFlipsTest, ZeroRateLeavesEveryBitUntouched) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(31);
+  const auto report = InjectBitFlips(model, 0.0, prng);
+  EXPECT_EQ(report.flipped_bits, 0u);
+  EXPECT_EQ(report.corrupted_weights, 0u);
+  EXPECT_TRUE(report.touched_layers.empty());
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    auto params = model.layer(i).Params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      EXPECT_EQ(FloatBits(params[p]), FloatBits(golden[i][p]));
+    }
+  }
+}
+
+TEST(InjectBitFlipsTest, FullRateFlipsEveryBit) {
+  // rber=1 must take the geometric fast path to every single bit: each
+  // weight ends up with all 32 bits inverted.
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(32);
+  const auto report = InjectBitFlips(model, 1.0, prng);
+  EXPECT_EQ(report.flipped_bits, model.TotalParams() * 32);
+  EXPECT_EQ(report.corrupted_weights, model.TotalParams());
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    auto params = model.layer(i).Params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      EXPECT_EQ(FloatBitDistance(params[p], golden[i][p]), 32);
+    }
+  }
+}
+
+TEST(InjectBitFlipsTest, FullRateReportsAllParamLayersAscending) {
+  nn::Model model = SmallModel();
+  Prng prng(33);
+  const auto report = InjectBitFlips(model, 1.0, prng);
+  std::vector<std::size_t> expected;
+  model.ForEachParamLayer(
+      [&](std::size_t index, nn::Layer&) { expected.push_back(index); });
+  EXPECT_EQ(report.touched_layers, expected);  // every layer, ascending
+}
+
+TEST(InjectWholeWeightTest, FullRateCorruptsEveryWeight) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(34);
+  const auto report = InjectWholeWeightErrors(model, 1.0, prng);
+  EXPECT_EQ(report.corrupted_weights, model.TotalParams());
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    auto params = model.layer(i).Params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      EXPECT_EQ(FloatBitDistance(params[p], golden[i][p]), 32);
+    }
+  }
+}
+
+TEST(InjectWholeWeightTest, ZeroRateIsNoop) {
+  nn::Model model = SmallModel();
+  const auto golden = model.SnapshotParams();
+  Prng prng(35);
+  const auto report = InjectWholeWeightErrors(model, 0.0, prng);
+  EXPECT_EQ(report.corrupted_weights, 0u);
+  EXPECT_TRUE(report.touched_layers.empty());
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    auto params = model.layer(i).Params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      EXPECT_EQ(FloatBits(params[p]), FloatBits(golden[i][p]));
+    }
+  }
+}
+
+TEST(InjectExactTest, TouchedLayersAscending) {
+  nn::Model model = SmallModel();
+  Prng prng(36);
+  const auto report = InjectExactWeightErrors(model, 100, prng);
+  ASSERT_FALSE(report.touched_layers.empty());
+  for (std::size_t i = 1; i < report.touched_layers.size(); ++i) {
+    EXPECT_LT(report.touched_layers[i - 1], report.touched_layers[i]);
+  }
+}
+
 TEST(InjectBitFlipsTest, RateMatchesExpectation) {
   nn::Model model = SmallModel();
   const double rber = 1e-3;

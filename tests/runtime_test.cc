@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "memory/fault_injector.h"
+#include "nn/init.h"
+#include "runtime/engine.h"
+#include "runtime/fault_drive.h"
+#include "runtime/request_queue.h"
+#include "support/prng.h"
+
+namespace milr::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Same topology as the protector tests: every solve mode is exercised and
+/// layers 0 (conv) and 8 (dense) are known exactly recoverable.
+nn::Model TestModel() {
+  nn::Model model(Shape{10, 10, 1});
+  model.AddConv(3, 12, nn::Padding::kValid).AddBias().AddReLU();  // 0,1,2
+  model.AddMaxPool(2);                                            // 3
+  model.AddConv(3, 8, nn::Padding::kValid).AddBias().AddReLU();   // 4,5,6
+  model.AddFlatten();                                             // 7
+  model.AddDense(6).AddBias().AddReLU();                          // 8,9,10
+  model.AddDense(3).AddBias();                                    // 11,12
+  nn::InitHeUniform(model, 42);
+  return model;
+}
+
+std::vector<Tensor> Probes(const nn::Model& model, std::size_t count) {
+  Prng prng(1234);
+  std::vector<Tensor> probes;
+  for (std::size_t i = 0; i < count; ++i) {
+    probes.push_back(RandomTensor(model.input_shape(), prng));
+  }
+  return probes;
+}
+
+// ------------------------------------------------------------ BoundedQueue
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushShedsWhenFull) {
+  BoundedQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsConsumers) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(7));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(8));  // admission stopped
+  auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());  // admitted work still drains
+  EXPECT_EQ(*item, 7);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, BlockedConsumerWakesOnPush) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    auto item = queue.Pop();
+    got.store(item.value_or(-2));
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_TRUE(queue.Push(99));
+  consumer.join();
+  EXPECT_EQ(got.load(), 99);
+}
+
+// --------------------------------------------------------- InferenceEngine
+
+TEST(InferenceEngineTest, ServesPredictionsMatchingDirectForward) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 4);
+  std::vector<Tensor> expected;
+  for (const auto& probe : probes) expected.push_back(model.Predict(probe));
+
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const Tensor output = engine.Predict(probes[i]);
+    EXPECT_EQ(MaxAbsDiff(output, expected[i]), 0.0f);
+  }
+  const auto metrics = engine.Snapshot();
+  EXPECT_EQ(metrics.requests_served, probes.size());
+  EXPECT_GT(metrics.latency_p50_ms, 0.0);
+}
+
+TEST(InferenceEngineTest, ConcurrentSubmissionsAllComplete) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 8);
+
+  EngineConfig config;
+  config.worker_threads = 3;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(engine.Submit(probes[i % probes.size()]));
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().shape(), model.output_shape());
+  }
+  EXPECT_EQ(engine.Snapshot().requests_served, 64u);
+}
+
+TEST(InferenceEngineTest, TrySubmitShedsLoadAtTheQueueBound) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 1);
+
+  EngineConfig config;
+  config.queue_capacity = 2;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  // Not started: nothing drains, so the bound is reached deterministically.
+  auto a = engine.TrySubmit(probes[0]);
+  auto b = engine.TrySubmit(probes[0]);
+  auto c = engine.TrySubmit(probes[0]);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_FALSE(c.has_value());
+  EXPECT_EQ(engine.Snapshot().requests_rejected, 1u);
+  engine.Start();  // the admitted two are served on startup
+  EXPECT_EQ(a->get().shape(), model.output_shape());
+  EXPECT_EQ(b->get().shape(), model.output_shape());
+}
+
+TEST(InferenceEngineTest, StopDrainsQueuedRequests) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 1);
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine.Submit(probes[0]));
+  engine.Start();
+  engine.Stop();  // must not abandon admitted work
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().shape(), model.output_shape());
+  }
+  EXPECT_THROW(engine.Submit(probes[0]), std::runtime_error);
+}
+
+TEST(InferenceEngineTest, ScrubNowOnCleanModelFlagsNothing) {
+  nn::Model model = TestModel();
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+  const auto report = engine.ScrubNow();
+  EXPECT_EQ(report.flagged_layers, 0u);
+  EXPECT_EQ(report.recovered_layers, 0u);
+  EXPECT_GT(report.detect_seconds, 0.0);
+  const auto metrics = engine.Snapshot();
+  EXPECT_EQ(metrics.scrub_cycles, 1u);
+  EXPECT_EQ(metrics.detections, 0u);
+}
+
+TEST(InferenceEngineTest, SynchronousScrubRepairsInjectedCorruption) {
+  nn::Model model = TestModel();
+  const auto golden = model.SnapshotParams();
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  Prng prng(9);
+  const auto injection = engine.InjectFault([&](nn::Model& live) {
+    return memory::CorruptWholeLayer(live, 8, prng);
+  });
+  EXPECT_EQ(injection.corrupted_weights, model.layer(8).ParamCount());
+  EXPECT_EQ(engine.Snapshot().faults_injected, 1u);
+
+  const auto report = engine.ScrubNow();
+  EXPECT_GE(report.flagged_layers, 1u);
+  EXPECT_GE(report.recovered_layers, 1u);
+  EXPECT_TRUE(report.recovery_ok);
+  EXPECT_GT(report.outage_seconds, 0.0);
+
+  auto params = model.layer(8).Params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    EXPECT_NEAR(params[p], golden[8][p], 1e-3f);
+  }
+}
+
+// The flagship scenario the issue demands: under continuous serving load,
+// a whole-layer corruption is detected by the *background* scrubber and
+// recovered online, with traffic served both before and after the fault.
+TEST(InferenceEngineTest, ScrubberHealsLiveCorruptionUnderLoad) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 4);
+  std::vector<Tensor> golden_outputs;
+  for (const auto& probe : probes) {
+    golden_outputs.push_back(model.Predict(probe));
+  }
+
+  EngineConfig config;
+  config.worker_threads = 2;
+  config.scrub_period = std::chrono::milliseconds(5);
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  // Phase 1: serve clean traffic.
+  for (const auto& probe : probes) engine.Predict(probe);
+  const auto before = engine.Snapshot();
+  ASSERT_GT(before.requests_served, 0u);
+
+  // Phase 2: corrupt a whole recoverable layer in the live engine while a
+  // client keeps hammering it.
+  std::atomic<bool> stop{false};
+  std::thread client([&] {
+    std::size_t i = 0;
+    while (!stop.load()) {
+      engine.Predict(probes[i++ % probes.size()]);
+    }
+  });
+
+  Prng prng(11);
+  engine.InjectFault([&](nn::Model& live) {
+    return memory::CorruptWholeLayer(live, 0, prng);
+  });
+
+  // Phase 3: the background scrubber must detect and recover online.
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (engine.Snapshot().recoveries < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  stop.store(true);
+  client.join();
+
+  const auto after = engine.Snapshot();
+  ASSERT_GE(after.detections, 1u) << "scrubber never flagged the corruption";
+  ASSERT_GE(after.recoveries, 1u) << "scrubber never recovered online";
+  EXPECT_GE(after.layers_flagged, 1u);
+  EXPECT_GE(after.layers_recovered, 1u);
+  EXPECT_GT(after.scrub_cycles, 0u);
+  EXPECT_GT(after.downtime_seconds, 0.0);
+  EXPECT_GT(after.mttr_seconds, 0.0);
+  EXPECT_LT(after.availability, 1.0);
+  EXPECT_GT(after.requests_served, before.requests_served)
+      << "no traffic served after the fault";
+
+  // Phase 4: predictions match the golden outputs again.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const Tensor healed = engine.Predict(probes[i]);
+    EXPECT_TRUE(AllClose(healed, golden_outputs[i], 1e-2f))
+        << "probe " << i << " deviates by "
+        << MaxAbsDiff(healed, golden_outputs[i]);
+  }
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, JsonSnapshotCarriesEveryCounter) {
+  Metrics metrics;
+  metrics.MarkStarted();
+  metrics.RecordLatency(1.5);
+  metrics.RecordRejected();
+  metrics.RecordScrubCycle();
+  metrics.RecordDetection(2);
+  metrics.RecordRecovery(2, 0.25);
+  metrics.RecordInjection(64);
+
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.requests_served, 1u);
+  EXPECT_EQ(snap.requests_rejected, 1u);
+  EXPECT_EQ(snap.scrub_cycles, 1u);
+  EXPECT_EQ(snap.detections, 1u);
+  EXPECT_EQ(snap.layers_flagged, 2u);
+  EXPECT_EQ(snap.recoveries, 1u);
+  EXPECT_EQ(snap.layers_recovered, 2u);
+  EXPECT_EQ(snap.faults_injected, 1u);
+  EXPECT_EQ(snap.corrupted_weights, 64u);
+  EXPECT_NEAR(snap.downtime_seconds, 0.25, 1e-6);
+  EXPECT_NEAR(snap.mttr_seconds, 0.25, 1e-6);
+  EXPECT_DOUBLE_EQ(snap.latency_p50_ms, 1.5);
+
+  const std::string json = snap.ToJson();
+  for (const char* key :
+       {"requests_served", "requests_rejected", "scrub_cycles", "detections",
+        "layers_flagged", "recoveries", "layers_recovered", "faults_injected",
+        "corrupted_weights", "uptime_seconds", "downtime_seconds",
+        "availability", "mttr_seconds", "latency_mean_ms", "latency_p50_ms",
+        "latency_p99_ms", "throughput_rps"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(MetricsTest, RecoveryWithZeroLayersCountsDowntimeOnly) {
+  Metrics metrics;
+  metrics.RecordRecovery(0, 0.1);  // quarantine that found nothing to fix
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.recoveries, 0u);
+  EXPECT_NEAR(snap.downtime_seconds, 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(snap.mttr_seconds, 0.0);
+}
+
+// -------------------------------------------------------------- FaultDrive
+
+TEST(FaultDriveTest, FiresBoundedCampaignAgainstLiveEngine) {
+  nn::Model model = TestModel();
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  FaultCampaign campaign;
+  campaign.kind = FaultCampaign::Kind::kExactWeights;
+  campaign.count = 8;
+  campaign.max_events = 3;
+  campaign.period = std::chrono::milliseconds(1);
+  campaign.seed = 21;
+  FaultDrive drive(engine, campaign);
+  for (std::size_t i = 0; i < campaign.max_events; ++i) {
+    const auto report = drive.FireOnce();
+    EXPECT_EQ(report.corrupted_weights, campaign.count);
+  }
+  EXPECT_EQ(drive.events(), 3u);
+  const auto metrics = engine.Snapshot();
+  EXPECT_EQ(metrics.faults_injected, 3u);
+  EXPECT_EQ(metrics.corrupted_weights, 24u);
+
+  // The scrubber sees the accumulated damage.
+  const auto report = engine.ScrubNow();
+  EXPECT_GE(report.flagged_layers, 1u);
+}
+
+TEST(FaultDriveTest, BackgroundCampaignStopsAtMaxEvents) {
+  nn::Model model = TestModel();
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  FaultCampaign campaign;
+  campaign.kind = FaultCampaign::Kind::kExactWeights;
+  campaign.count = 4;
+  campaign.max_events = 2;
+  campaign.period = std::chrono::milliseconds(1);
+  FaultDrive drive(engine, campaign);
+  drive.Start();
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (drive.events() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  drive.Stop();
+  EXPECT_GE(drive.events(), 2u);
+  EXPECT_LE(drive.events(), 3u);  // one in-flight event may straddle the cap
+}
+
+}  // namespace
+}  // namespace milr::runtime
