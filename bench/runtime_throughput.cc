@@ -1,25 +1,34 @@
-// Serving throughput of the protected runtime, scrubber off vs on.
+// Serving throughput of the protected runtime across micro-batch sizes.
 //
-// The question a deployment engineer asks before enabling background
-// integrity scrubbing: what does the always-on detection sweep cost in
-// requests/sec and tail latency? Detection runs under a shared lock, so in
-// the clean steady state it only competes for cores — this bench measures
-// how much.
+// The deployment question behind the batching refactor: with the background
+// scrubber enabled, how many requests/sec does the engine sustain as
+// EngineConfig::max_batch grows? Batching converts request-level
+// parallelism into data-level parallelism — one queue drain, one shared
+// lock, one PredictBatch whose stacked GEMM parallelizes across cores — so
+// the curve is the availability model's "useful work between detection
+// windows" knob made measurable.
 //
-// Knobs: MILR_BENCH_SECONDS (per phase, default 2), MILR_CLIENTS (client
-// threads, default 2), MILR_WORKERS (engine workers, default 2).
+// Sweeps max_batch = 1, 4, 8, 16 and prints the speedup over the batch-1
+// baseline. Scrubber is ON for every phase (the production configuration).
+//
+// Knobs: MILR_NET (cifar_large | cifar_small | mnist | tiny; default
+// cifar_large), MILR_BENCH_SECONDS (per phase, default 2), MILR_CLIENTS
+// (client threads, default 2), MILR_WORKERS (engine workers, default 2).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
 #include <thread>
 #include <vector>
 
+#include "apps/networks.h"
 #include "nn/init.h"
 #include "nn/model.h"
 #include "runtime/engine.h"
 #include "support/prng.h"
-#include "support/stopwatch.h"
 
 namespace {
 
@@ -31,8 +40,24 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
   return fallback;
 }
 
-milr::nn::Model BuildServingModel() {
+milr::nn::Model BuildServingModel(const char* which) {
   using namespace milr;
+  if (std::strcmp(which, "mnist") == 0) {
+    nn::Model model = apps::BuildMnistNetwork();
+    nn::InitHeUniform(model, /*seed=*/11);
+    return model;
+  }
+  if (std::strcmp(which, "cifar_small") == 0) {
+    nn::Model model = apps::BuildCifarSmallNetwork();
+    nn::InitHeUniform(model, /*seed=*/11);
+    return model;
+  }
+  if (std::strcmp(which, "cifar_large") == 0) {
+    nn::Model model = apps::BuildCifarLargeNetwork();
+    nn::InitHeUniform(model, /*seed=*/11);
+    return model;
+  }
+  // "tiny": the original smoke-test topology, handy for quick runs.
   nn::Model model(Shape{16, 16, 1});
   model.AddConv(3, 8, nn::Padding::kValid).AddBias().AddReLU();
   model.AddMaxPool(2);
@@ -47,16 +72,18 @@ milr::nn::Model BuildServingModel() {
 
 int main() {
   using namespace milr;
+  const char* net = std::getenv("MILR_NET");
+  if (net == nullptr) net = "cifar_large";
   const double seconds =
       static_cast<double>(EnvSize("MILR_BENCH_SECONDS", 2));
   const std::size_t clients = EnvSize("MILR_CLIENTS", 2);
   const std::size_t workers = EnvSize("MILR_WORKERS", 2);
 
-  std::printf("runtime_throughput: %zu clients, %zu workers, %.0fs per "
-              "phase\n",
-              clients, workers, seconds);
+  std::printf("runtime_throughput: net=%s, %zu clients, %zu workers, %.0fs "
+              "per phase, scrubber on\n",
+              net, clients, workers, seconds);
 
-  nn::Model model = BuildServingModel();
+  nn::Model model = BuildServingModel(net);
   const auto golden = model.SnapshotParams();
   Prng probe_prng(3);
   std::vector<Tensor> probes;
@@ -64,24 +91,43 @@ int main() {
     probes.push_back(RandomTensor(model.input_shape(), probe_prng));
   }
 
-  for (const bool scrub_on : {false, true}) {
+  double batch1_rps = 0.0;
+  for (const std::size_t max_batch : {1, 4, 8, 16}) {
     model.RestoreParams(golden);  // engine needs the golden state
     runtime::EngineConfig config;
     config.worker_threads = workers;
     config.queue_capacity = 512;
-    config.scrubber_enabled = scrub_on;
+    config.max_batch = max_batch;
+    // A short linger lets partial batches fill under bursty arrivals;
+    // meaningless (and skipped) at batch 1.
+    config.batch_linger =
+        std::chrono::microseconds(max_batch > 1 ? 200 : 0);
+    config.scrubber_enabled = true;
     config.scrub_period = std::chrono::milliseconds(20);
     runtime::InferenceEngine engine(model, config);
     engine.Start();
 
+    // Closed-loop clients with a pipeline window: enough requests stay
+    // outstanding to let every worker fill its micro-batch.
+    const std::size_t window =
+        std::max<std::size_t>(1, (2 * max_batch * workers) / clients);
     std::atomic<bool> stop{false};
     std::vector<std::thread> load;
     for (std::size_t c = 0; c < clients; ++c) {
       load.emplace_back([&, c] {
+        std::deque<std::future<Tensor>> inflight;
         std::size_t i = c;
         while (!stop.load(std::memory_order_relaxed)) {
-          engine.Predict(probes[i % probes.size()]);
+          inflight.push_back(engine.Submit(probes[i % probes.size()]));
           ++i;
+          if (inflight.size() >= window) {
+            inflight.front().get();
+            inflight.pop_front();
+          }
+        }
+        while (!inflight.empty()) {
+          inflight.front().get();
+          inflight.pop_front();
         }
       });
     }
@@ -91,10 +137,14 @@ int main() {
 
     const auto m = engine.Snapshot();
     engine.Stop();
-    std::printf("  scrubber=%-3s  %9.1f req/s  p50=%.3fms p99=%.3fms "
-                "mean=%.3fms  scrub_cycles=%llu\n",
-                scrub_on ? "on" : "off", m.throughput_rps, m.latency_p50_ms,
-                m.latency_p99_ms, m.latency_mean_ms,
+    if (max_batch == 1) batch1_rps = m.throughput_rps;
+    std::printf("  max_batch=%-2zu  %9.1f req/s  (%.2fx vs batch 1)  "
+                "p50=%.2fms p99=%.2fms  mean_batch=%.2f  batch_ms=%.2f  "
+                "scrub_cycles=%llu\n",
+                max_batch, m.throughput_rps,
+                batch1_rps > 0.0 ? m.throughput_rps / batch1_rps : 1.0,
+                m.latency_p50_ms, m.latency_p99_ms, m.batch_size_mean,
+                m.batch_service_mean_ms,
                 static_cast<unsigned long long>(m.scrub_cycles));
   }
   return 0;

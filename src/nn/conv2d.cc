@@ -1,8 +1,10 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/gemm.h"
+#include "support/parallel.h"
 
 namespace milr::nn {
 
@@ -52,18 +54,16 @@ Shape Conv2DLayer::OutputShape(const Shape& input) const {
   return Shape{g, g, out_channels_};
 }
 
-Tensor Conv2DLayer::BuildPatchMatrix(const Tensor& input) const {
-  CheckInput(input.shape());
-  const std::size_t m = input.shape()[0];
+void Conv2DLayer::Im2ColInto(const float* src, std::size_t input_extent,
+                             float* dst) const {
+  const std::size_t m = input_extent;
   const std::size_t g = OutputExtent(m);
   const std::size_t f = filter_size_;
   const std::size_t z = in_channels_;
   const std::size_t p = pad();
-  Tensor patches(Shape{g * g, f * f * z});
-  float* out = patches.data();
   for (std::size_t i = 0; i < g; ++i) {
     for (std::size_t j = 0; j < g; ++j) {
-      float* row = out + (i * g + j) * (f * f * z);
+      float* row = dst + (i * g + j) * (f * f * z);
       for (std::size_t f1 = 0; f1 < f; ++f1) {
         // Input row index with padding offset; skip out-of-bounds (zeros).
         const std::ptrdiff_t r =
@@ -74,16 +74,25 @@ Tensor Conv2DLayer::BuildPatchMatrix(const Tensor& input) const {
           float* cell = row + (f1 * f + f2) * z;
           if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(m) ||
               c >= static_cast<std::ptrdiff_t>(m)) {
-            continue;  // zero padding (tensor starts zero-filled)
+            continue;  // zero padding (destination starts zero-filled)
           }
-          const float* src =
-              input.data() + input.Offset3(static_cast<std::size_t>(r),
-                                           static_cast<std::size_t>(c), 0);
-          for (std::size_t ch = 0; ch < z; ++ch) cell[ch] = src[ch];
+          const float* cell_src =
+              src + (static_cast<std::size_t>(r) * m +
+                     static_cast<std::size_t>(c)) *
+                        z;
+          for (std::size_t ch = 0; ch < z; ++ch) cell[ch] = cell_src[ch];
         }
       }
     }
   }
+}
+
+Tensor Conv2DLayer::BuildPatchMatrix(const Tensor& input) const {
+  CheckInput(input.shape());
+  const std::size_t m = input.shape()[0];
+  const std::size_t g = OutputExtent(m);
+  Tensor patches(Shape{g * g, PatchLength()});
+  Im2ColInto(input.data(), m, patches.data());
   return patches;
 }
 
@@ -132,6 +141,46 @@ Tensor Conv2DLayer::Forward(const Tensor& input) const {
   Tensor out(Shape{g, g, out_channels_});
   GemmAccumulate(patches.data(), filters_.data(), out.data(), g * g,
                  PatchLength(), out_channels_);
+  return out;
+}
+
+Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
+  const Shape& shape = input.shape();
+  if (shape.rank() != 4 || shape[0] == 0 || shape[1] != shape[2] ||
+      shape[3] != in_channels_) {
+    throw std::invalid_argument("Conv2DLayer::ForwardBatch: incompatible "
+                                "batched input " + shape.ToString());
+  }
+  const std::size_t batch = shape[0];
+  const std::size_t m = shape[1];
+  const std::size_t g = OutputExtent(m);
+  const std::size_t plen = PatchLength();
+  const std::size_t sample_rows = g * g;
+  const std::size_t rows = batch * sample_rows;
+
+  // Stacked im2col: sample s owns rows [s·G², (s+1)·G²) of the patch
+  // matrix, so the batched GEMM below is exactly B independent copies of
+  // the single-sample GEMM — results are bit-identical to Forward.
+  Tensor patches(Shape{rows, plen});
+  const std::size_t in_stride = m * m * in_channels_;
+  ParallelFor(0, batch, [&](std::size_t s) {
+    Im2ColInto(input.data() + s * in_stride, m,
+               patches.data() + s * sample_rows * plen);
+  });
+
+  Tensor out(Shape{batch, g, g, out_channels_});
+  // Parallelize across row blocks when the batch carries real work; each
+  // block owns a disjoint slice of C, and the per-element accumulation
+  // order is unchanged. Small GEMMs stay serial (one block).
+  constexpr std::size_t kBlockRows = 128;
+  const std::size_t blocks = (rows + kBlockRows - 1) / kBlockRows;
+  ParallelFor(0, blocks, [&](std::size_t blk) {
+    const std::size_t begin = blk * kBlockRows;
+    const std::size_t count = std::min(kBlockRows, rows - begin);
+    GemmAccumulate(patches.data() + begin * plen, filters_.data(),
+                   out.data() + begin * out_channels_, count, plen,
+                   out_channels_);
+  });
   return out;
 }
 

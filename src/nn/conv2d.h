@@ -28,6 +28,10 @@ class Conv2DLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kConv2D; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  /// Batched im2col: stacks every sample's patch matrix into one
+  /// (B·G², F²Z) operand and runs a single GEMM against the filters,
+  /// parallelized across row blocks when the product is large enough.
+  Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
   std::span<float> Params() override { return filters_.flat(); }
@@ -66,6 +70,12 @@ class Conv2DLayer final : public Layer {
 
  private:
   void CheckInput(const Shape& input) const;
+
+  /// im2col core shared by the single and batched paths: writes the (G²,F²Z)
+  /// patch rows of one (M,M,Z) sample at `src` into `dst`, which must be
+  /// zero-filled (padding cells are skipped, not written).
+  void Im2ColInto(const float* src, std::size_t input_extent,
+                  float* dst) const;
 
   std::size_t filter_size_;
   std::size_t in_channels_;

@@ -20,6 +20,11 @@ class DenseLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kDense; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  /// A batch (B,N) is exactly the rank-2 system Forward already runs as one
+  /// GEMM — the batched entry point just forwards to it.
+  Tensor ForwardBatch(const Tensor& input) const override {
+    return Forward(input);
+  }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
   std::span<float> Params() override { return weights_.flat(); }

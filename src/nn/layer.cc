@@ -1,8 +1,42 @@
 #include "nn/layer.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace milr::nn {
+namespace {
+
+/// Strips the leading batch axis; the remainder is what Forward accepts.
+Shape SampleShape(const Shape& batched) {
+  if (batched.rank() < 2) {
+    throw std::invalid_argument(
+        "ForwardBatch: expected a non-empty batch axis, have " +
+        batched.ToString());
+  }
+  return StripBatchAxis(batched);
+}
+
+}  // namespace
+
+Shape Layer::BatchOutputShape(const Shape& input) const {
+  return WithBatchAxis(input[0], OutputShape(SampleShape(input)));
+}
+
+Tensor Layer::ForwardBatch(const Tensor& input) const {
+  const Shape sample_in = SampleShape(input.shape());
+  const std::size_t batch = input.shape()[0];
+  const Shape sample_out = OutputShape(sample_in);
+  const std::size_t in_stride = sample_in.NumElements();
+  const std::size_t out_stride = sample_out.NumElements();
+  Tensor out(WithBatchAxis(batch, sample_out));
+  Tensor one(sample_in);
+  for (std::size_t s = 0; s < batch; ++s) {
+    std::copy_n(input.data() + s * in_stride, in_stride, one.data());
+    const Tensor y = Forward(one);
+    std::copy_n(y.data(), out_stride, out.data() + s * out_stride);
+  }
+  return out;
+}
 
 const char* LayerKindName(LayerKind kind) {
   switch (kind) {
@@ -42,6 +76,29 @@ Tensor ZeroPad2DLayer::Forward(const Tensor& input) const {
       const float* src = input.data() + input.Offset3(i, j, 0);
       float* dst = out.data() + out.Offset3(i + pad_, j + pad_, 0);
       for (std::size_t ch = 0; ch < c; ++ch) dst[ch] = src[ch];
+    }
+  }
+  return out;
+}
+
+Tensor ZeroPad2DLayer::ForwardBatch(const Tensor& input) const {
+  const Shape out_shape = BatchOutputShape(input.shape());
+  Tensor out(out_shape);
+  const std::size_t batch = input.shape()[0];
+  const std::size_t m = input.shape()[1];
+  const std::size_t c = input.shape()[3];
+  const std::size_t padded = m + 2 * pad_;
+  const std::size_t in_stride = m * m * c;
+  const std::size_t out_stride = padded * padded * c;
+  for (std::size_t s = 0; s < batch; ++s) {
+    const float* src_base = input.data() + s * in_stride;
+    float* dst_base = out.data() + s * out_stride;
+    for (std::size_t i = 0; i < m; ++i) {
+      // Each input row is contiguous (m*c floats) and lands at column pad_
+      // of padded output row i + pad_.
+      const float* src = src_base + i * m * c;
+      float* dst = dst_base + ((i + pad_) * padded + pad_) * c;
+      std::copy_n(src, m * c, dst);
     }
   }
   return out;
@@ -96,6 +153,14 @@ Shape FlattenLayer::OutputShape(const Shape& input) const {
 
 Tensor FlattenLayer::Forward(const Tensor& input) const {
   return input.Reshaped(Shape{input.size()});
+}
+
+Tensor FlattenLayer::ForwardBatch(const Tensor& input) const {
+  const std::size_t batch = input.shape()[0];
+  if (input.shape().rank() < 2 || batch == 0) {
+    throw std::invalid_argument("FlattenLayer::ForwardBatch: need batch axis");
+  }
+  return input.Reshaped(Shape{batch, input.size() / batch});
 }
 
 Tensor FlattenLayer::Backward(const Tensor& x, const Tensor& /*y*/,

@@ -45,8 +45,22 @@ class Layer {
   /// std::invalid_argument if the input shape is unsupported.
   virtual Shape OutputShape(const Shape& input) const = 0;
 
-  /// Inference forward pass.
+  /// Inference forward pass (one sample). Equivalent to the B = 1 slice of
+  /// ForwardBatch; MILR's init/detect/recover passes stay on this entry
+  /// point because they reason about one canonical input at a time.
   virtual Tensor Forward(const Tensor& input) const = 0;
+
+  /// Batched inference forward pass. `input` is the per-sample shape
+  /// Forward accepts with a leading batch axis prepended: rank-4 (B,H,W,C)
+  /// for convolutional stages, rank-2 (B,N) after Flatten. The default
+  /// implementation loops Forward over the samples; layers override it with
+  /// a fused kernel (batched im2col for conv, one GEMM for dense, ...).
+  /// Every override produces bit-identical results to the per-sample loop.
+  virtual Tensor ForwardBatch(const Tensor& input) const;
+
+  /// Output shape for a batched input: {B} + OutputShape(sample shape).
+  /// Throws std::invalid_argument when the input has no batch axis.
+  Shape BatchOutputShape(const Shape& input) const;
 
   /// Training backward pass: given the forward input `x`, forward output
   /// `y` and upstream gradient `dy`, accumulates parameter gradients into
@@ -77,6 +91,11 @@ class ReLULayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kReLU; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override;
+  // Elementwise and shape-agnostic: the batched tensor goes through the
+  // same kernel directly.
+  Tensor ForwardBatch(const Tensor& input) const override {
+    return Forward(input);
+  }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
 };
@@ -87,6 +106,8 @@ class FlattenLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kFlatten; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  /// (B, d0, d1, ...) -> (B, d0*d1*...): the batch axis survives.
+  Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
 };
@@ -101,6 +122,7 @@ class DropoutLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kDropout; }
   Shape OutputShape(const Shape& input) const override { return input; }
   Tensor Forward(const Tensor& input) const override { return input; }
+  Tensor ForwardBatch(const Tensor& input) const override { return input; }
   Tensor Backward(const Tensor& /*x*/, const Tensor& /*y*/, const Tensor& dy,
                   std::span<float> /*dparams*/) const override {
     return dy;
@@ -122,6 +144,7 @@ class ZeroPad2DLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kZeroPad2D; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
 
@@ -144,6 +167,11 @@ class BiasLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kBias; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  // The bias broadcast keys off the trailing channel axis, which a leading
+  // batch axis does not disturb — the unbatched kernel applies as-is.
+  Tensor ForwardBatch(const Tensor& input) const override {
+    return Forward(input);
+  }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
   std::span<float> Params() override { return bias_.flat(); }

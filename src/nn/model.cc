@@ -1,6 +1,8 @@
 #include "nn/model.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace milr::nn {
 
@@ -59,9 +61,48 @@ Model& Model::AddZeroPad(std::size_t pad) {
 }
 
 Tensor Model::Predict(const Tensor& input) const {
-  Tensor current = input;
-  for (const auto& layer : layers_) current = layer->Forward(current);
+  // Single-sample inference is served by the batched path with B = 1; the
+  // layers' ForwardBatch implementations are bit-identical to Forward.
+  // Rvalue reshapes keep this copy-free beyond the one input copy the
+  // pre-batching Predict also made.
+  Tensor out = PredictBatch(Tensor(input).Reshaped(
+      WithBatchAxis(1, input.shape())));
+  const Shape sample_out = StripBatchAxis(out.shape());
+  return std::move(out).Reshaped(sample_out);
+}
+
+Tensor Model::PredictBatch(Tensor batch) const {
+  Tensor current = std::move(batch);
+  for (const auto& layer : layers_) current = layer->ForwardBatch(current);
   return current;
+}
+
+std::vector<Tensor> Model::PredictBatch(
+    const std::vector<Tensor>& inputs) const {
+  if (inputs.empty()) return {};
+  const std::size_t sample_size = inputs.front().size();
+  Tensor packed(WithBatchAxis(inputs.size(), inputs.front().shape()));
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    if (!(inputs[s].shape() == inputs.front().shape())) {
+      throw std::invalid_argument(
+          "PredictBatch: mixed sample shapes " +
+          inputs.front().shape().ToString() + " vs " +
+          inputs[s].shape().ToString());
+    }
+    std::copy_n(inputs[s].data(), sample_size,
+                packed.data() + s * sample_size);
+  }
+  const Tensor out = PredictBatch(packed);
+  const Shape sample_out = StripBatchAxis(out.shape());
+  const std::size_t out_stride = sample_out.NumElements();
+  std::vector<Tensor> results;
+  results.reserve(inputs.size());
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    Tensor one(sample_out);
+    std::copy_n(out.data() + s * out_stride, out_stride, one.data());
+    results.push_back(std::move(one));
+  }
+  return results;
 }
 
 std::vector<Tensor> Model::ForwardCollect(const Tensor& input) const {

@@ -47,8 +47,18 @@ class Model {
   const Shape& ShapeAt(std::size_t i) const { return shapes_.at(i); }
   const Shape& output_shape() const { return shapes_.back(); }
 
-  /// Full forward pass on one sample.
+  /// Full forward pass on one sample — the B = 1 case of PredictBatch.
   Tensor Predict(const Tensor& input) const;
+
+  /// Batched forward pass: `batch` is (B, input_shape...) and the result is
+  /// (B, output_shape...). Bit-identical to running Predict per sample; the
+  /// serving engine's micro-batcher is built on this entry point. Taken by
+  /// value: move the batch in to skip the initial copy.
+  Tensor PredictBatch(Tensor batch) const;
+
+  /// Convenience overload: stacks per-sample tensors (each `input_shape`),
+  /// runs one batched pass, and splits the outputs back per sample.
+  std::vector<Tensor> PredictBatch(const std::vector<Tensor>& inputs) const;
 
   /// Forward pass that also returns every intermediate activation;
   /// activations[i] is the input of layer i, activations[LayerCount()] the

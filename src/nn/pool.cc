@@ -1,8 +1,66 @@
 #include "nn/pool.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "support/parallel.h"
+
 namespace milr::nn {
+namespace {
+
+// Raw-pointer pooling kernels shared by the batched paths. They visit the
+// window in the same (di, dj) order as the checked per-sample loops, so the
+// results (including float accumulation order for avg) are identical.
+
+void MaxPoolSample(const float* in, float* out, std::size_t m, std::size_t z,
+                   std::size_t pool) {
+  const std::size_t g = m / pool;
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < z; ++c) {
+        float best = in[((i * pool) * m + j * pool) * z + c];
+        for (std::size_t di = 0; di < pool; ++di) {
+          for (std::size_t dj = 0; dj < pool; ++dj) {
+            best = std::max(
+                best, in[((i * pool + di) * m + (j * pool + dj)) * z + c]);
+          }
+        }
+        out[(i * g + j) * z + c] = best;
+      }
+    }
+  }
+}
+
+void AvgPoolSample(const float* in, float* out, std::size_t m, std::size_t z,
+                   std::size_t pool) {
+  const std::size_t g = m / pool;
+  const float inv_window = 1.0f / static_cast<float>(pool * pool);
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      for (std::size_t c = 0; c < z; ++c) {
+        float acc = 0.0f;
+        for (std::size_t di = 0; di < pool; ++di) {
+          for (std::size_t dj = 0; dj < pool; ++dj) {
+            acc += in[((i * pool + di) * m + (j * pool + dj)) * z + c];
+          }
+        }
+        out[(i * g + j) * z + c] = acc * inv_window;
+      }
+    }
+  }
+}
+
+void CheckBatchPoolInput(const Shape& input, std::size_t pool,
+                         const char* who) {
+  if (input.rank() != 4 || input[0] == 0 || input[1] != input[2] ||
+      input[1] % pool != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": incompatible batched input " +
+                                input.ToString());
+  }
+}
+
+}  // namespace
 
 MaxPool2DLayer::MaxPool2DLayer(std::size_t pool_size) : pool_size_(pool_size) {
   if (pool_size == 0) {
@@ -44,6 +102,22 @@ Tensor MaxPool2DLayer::Forward(const Tensor& input) const {
       }
     }
   }
+  return out;
+}
+
+Tensor MaxPool2DLayer::ForwardBatch(const Tensor& input) const {
+  CheckBatchPoolInput(input.shape(), pool_size_, "MaxPool2DLayer");
+  const std::size_t batch = input.shape()[0];
+  const std::size_t m = input.shape()[1];
+  const std::size_t z = input.shape()[3];
+  const std::size_t g = m / pool_size_;
+  Tensor out(Shape{batch, g, g, z});
+  const std::size_t in_stride = m * m * z;
+  const std::size_t out_stride = g * g * z;
+  ParallelFor(0, batch, [&](std::size_t s) {
+    MaxPoolSample(input.data() + s * in_stride, out.data() + s * out_stride,
+                  m, z, pool_size_);
+  });
   return out;
 }
 
@@ -117,6 +191,22 @@ Tensor AvgPool2DLayer::Forward(const Tensor& input) const {
       }
     }
   }
+  return out;
+}
+
+Tensor AvgPool2DLayer::ForwardBatch(const Tensor& input) const {
+  CheckBatchPoolInput(input.shape(), pool_size_, "AvgPool2DLayer");
+  const std::size_t batch = input.shape()[0];
+  const std::size_t m = input.shape()[1];
+  const std::size_t z = input.shape()[3];
+  const std::size_t g = m / pool_size_;
+  Tensor out(Shape{batch, g, g, z});
+  const std::size_t in_stride = m * m * z;
+  const std::size_t out_stride = g * g * z;
+  ParallelFor(0, batch, [&](std::size_t s) {
+    AvgPoolSample(input.data() + s * in_stride, out.data() + s * out_stride,
+                  m, z, pool_size_);
+  });
   return out;
 }
 

@@ -20,6 +20,7 @@ class MaxPool2DLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kMaxPool2D; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
 
@@ -39,6 +40,7 @@ class AvgPool2DLayer final : public Layer {
   LayerKind kind() const override { return LayerKind::kAvgPool2D; }
   Shape OutputShape(const Shape& input) const override;
   Tensor Forward(const Tensor& input) const override;
+  Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
 

@@ -1,7 +1,10 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "support/parallel.h"
 
 namespace milr::runtime {
 
@@ -32,12 +35,14 @@ void InferenceEngine::Start() {
 
 void InferenceEngine::Stop() {
   if (stopped_.exchange(true)) return;
+  // Scrubber first (see engine.h): no scrub cycle may start once the drain
+  // begins, so workers exit without racing a late quarantine for the lock.
+  scrubber_->Stop();
   queue_.Close();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  scrubber_->Stop();
   running_.store(false);
 }
 
@@ -83,19 +88,110 @@ void InferenceEngine::WithModelExclusive(
 }
 
 void InferenceEngine::WorkerLoop() {
-  while (auto request = queue_.Pop()) {
-    try {
-      Tensor output;
-      {
-        std::shared_lock<std::shared_mutex> lock(model_mutex_);
-        output = model_->Predict(request->input);
+  // When the worker pool alone covers the cores, nested ParallelFor inside
+  // PredictBatch (stacked im2col, GEMM row blocks, pools) would spawn up to
+  // workers × cores transient threads per layer; pin those calls serial.
+  // With fewer workers than cores, intra-batch parallelism is the point —
+  // leave it enabled and let the batch GEMM fan out.
+  std::optional<SerialRegionGuard> serial;
+  if (config_.worker_threads >= ParallelWorkerCount()) serial.emplace();
+
+  const std::size_t max_batch = std::max<std::size_t>(1, config_.max_batch);
+  std::vector<Request> batch;
+  batch.reserve(max_batch);
+  for (;;) {
+    batch.clear();
+    if (queue_.PopBatch(batch, max_batch, config_.batch_linger) == 0) {
+      return;  // queue closed and drained
+    }
+    ServeBatch(batch);
+  }
+}
+
+void InferenceEngine::ServeSingle(Request& request) {
+  try {
+    Tensor output;
+    double service_ms = 0.0;
+    {
+      std::shared_lock<std::shared_mutex> lock(model_mutex_);
+      // Start after the lock: service time is model time, not a quarantine
+      // stall spent waiting out the scrubber's exclusive section.
+      Stopwatch service;
+      output = model_->Predict(request.input);
+      service_ms = service.ElapsedMillis();
+    }
+    metrics_.RecordBatch(1, service_ms);
+    // Record before fulfilling the promise: a client observing its
+    // result must also observe the request in the served counter.
+    metrics_.RecordLatency(request.queued.ElapsedMillis());
+    request.result.set_value(std::move(output));
+  } catch (...) {
+    request.result.set_exception(std::current_exception());
+  }
+}
+
+void InferenceEngine::ServeBatch(std::vector<Request>& batch) {
+  // Only requests shaped like the model input can share a batch tensor;
+  // anything else takes the single-sample path, where the layer shape check
+  // throws into that request's own promise.
+  std::vector<Request*> conforming;
+  conforming.reserve(batch.size());
+  for (auto& request : batch) {
+    if (request.input.shape() == model_->input_shape()) {
+      conforming.push_back(&request);
+    } else {
+      ServeSingle(request);
+    }
+  }
+  if (conforming.empty()) return;
+  if (conforming.size() == 1) {
+    ServeSingle(*conforming.front());
+    return;
+  }
+
+  // Pack in place rather than through Model::PredictBatch(vector): the
+  // requests already own their tensors, so this is the only copy.
+  const std::size_t b = conforming.size();
+  const std::size_t in_stride = model_->input_shape().NumElements();
+  Tensor packed(WithBatchAxis(b, model_->input_shape()));
+  for (std::size_t s = 0; s < b; ++s) {
+    std::copy_n(conforming[s]->input.data(), in_stride,
+                packed.data() + s * in_stride);
+  }
+
+  std::size_t fulfilled = 0;
+  try {
+    Tensor outputs;
+    double service_ms = 0.0;
+    {
+      std::shared_lock<std::shared_mutex> lock(model_mutex_);
+      // Start after the lock (see ServeSingle): lock-wait is downtime
+      // accounting, not batch service cost.
+      Stopwatch service;
+      outputs = model_->PredictBatch(std::move(packed));
+      service_ms = service.ElapsedMillis();
+    }
+    metrics_.RecordBatch(b, service_ms);
+    const std::size_t out_stride = model_->output_shape().NumElements();
+    for (std::size_t s = 0; s < b; ++s) {
+      Tensor one(model_->output_shape());
+      std::copy_n(outputs.data() + s * out_stride, out_stride, one.data());
+      metrics_.RecordLatency(conforming[s]->queued.ElapsedMillis());
+      conforming[s]->result.set_value(std::move(one));
+      ++fulfilled;
+    }
+  } catch (...) {
+    // A failure with conforming shapes is a model-side (or allocation)
+    // error; every rider not yet fulfilled gets the same exception. The
+    // already-fulfilled prefix must be skipped — set_exception on a
+    // satisfied promise throws out of the handler and would terminate.
+    for (std::size_t s = fulfilled; s < b; ++s) {
+      try {
+        conforming[s]->result.set_exception(std::current_exception());
+      } catch (...) {
+        // Promise raced to a satisfied state; its client already has a
+        // result, nothing more to deliver.
       }
-      // Record before fulfilling the promise: a client observing its
-      // result must also observe the request in the served counter.
-      metrics_.RecordLatency(request->queued.ElapsedMillis());
-      request->result.set_value(std::move(output));
-    } catch (...) {
-      request->result.set_exception(std::current_exception());
     }
   }
 }

@@ -5,8 +5,8 @@
 // availability does a *live* protected service sustain under continuous
 // fault arrival? It owns four moving parts:
 //
-//   clients ──Submit──▶ BoundedQueue ──▶ worker pool ──Predict──▶ futures
-//                                          │ shared lock
+//   clients ──Submit──▶ BoundedQueue ──▶ worker pool ──PredictBatch──▶ futures
+//                          (micro-batch: drain ≤ max_batch) │ shared lock
 //                    Scrubber (detect concurrently; quarantine + MILR
 //                    recovery on a flagged layer)      │ exclusive lock
 //                    FaultDrive / InjectFault (attacks)│ exclusive lock
@@ -33,14 +33,34 @@
 #include "runtime/metrics.h"
 #include "runtime/request_queue.h"
 #include "runtime/scrubber.h"
+#include "support/parallel.h"
 #include "support/stopwatch.h"
 #include "tensor/tensor.h"
 
 namespace milr::runtime {
 
+/// Default worker-pool size: one thread per hardware core with a floor of
+/// 1, via ParallelWorkerCount() so the MILR_THREADS env cap governs the
+/// engine pool and the layers' internal ParallelFor consistently.
+inline std::size_t DefaultWorkerThreads() { return ParallelWorkerCount(); }
+
 struct EngineConfig {
-  std::size_t worker_threads = 2;
+  /// Size of the worker pool. When workers >= hardware cores the engine
+  /// pins each worker's nested ParallelFor (inside PredictBatch) to serial
+  /// execution, so the pool itself is the only parallelism; with fewer
+  /// workers than cores, batched layers fan out internally instead.
+  std::size_t worker_threads = DefaultWorkerThreads();
   std::size_t queue_capacity = 256;
+  /// Dynamic micro-batching: a worker drains up to `max_batch` queued
+  /// requests and serves them with one PredictBatch under a single
+  /// shared-lock acquisition. 1 disables batching entirely.
+  std::size_t max_batch = 8;
+  /// How long a worker holding a partial batch waits for more arrivals
+  /// before serving what it has. 0 (the default) is pure opportunistic
+  /// batching: batches form only from backlog and an idle queue serves
+  /// single requests immediately. Raise it to trade a bounded latency
+  /// slice for fuller batches under bursty load.
+  std::chrono::microseconds batch_linger{0};
   bool scrubber_enabled = true;
   std::chrono::milliseconds scrub_period{50};
   /// Protection preset for the embedded MilrProtector. The extended preset
@@ -64,8 +84,15 @@ class InferenceEngine {
   /// be queued before Start(), but nothing is served until it runs.
   void Start();
 
-  /// Stops admission, drains every queued request, joins workers and the
-  /// scrubber. Idempotent; also run by the destructor.
+  /// Stops admission, drains every queued request, and joins all service
+  /// threads. Idempotent; also run by the destructor. Shutdown order is
+  /// load-bearing:
+  ///   1. the scrubber stops first, so no scrub cycle can take the model
+  ///      lock between queue close and worker exit (a late quarantine would
+  ///      stall the drain and could recover against a half-shut engine);
+  ///   2. the queue closes, which stops admission but lets consumers drain
+  ///      every admitted request;
+  ///   3. workers join once the queue is drained.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -106,6 +133,11 @@ class InferenceEngine {
   };
 
   void WorkerLoop();
+  /// Serves one drained micro-batch: conforming requests go through a
+  /// single PredictBatch; misfits fall back to the single-sample path so a
+  /// bad input only fails its own promise.
+  void ServeBatch(std::vector<Request>& batch);
+  void ServeSingle(Request& request);
 
   nn::Model* model_;
   EngineConfig config_;

@@ -51,8 +51,24 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "latency_mean_ms", latency_mean_ms);
   AppendField(out, "latency_p50_ms", latency_p50_ms);
   AppendField(out, "latency_p99_ms", latency_p99_ms);
-  AppendField(out, "throughput_rps", throughput_rps, /*last=*/true);
-  out += "}";
+  AppendField(out, "throughput_rps", throughput_rps);
+  AppendField(out, "batches_served", batches_served);
+  AppendField(out, "batch_size_mean", batch_size_mean);
+  AppendField(out, "batch_size_max", batch_size_max);
+  AppendField(out, "batch_service_mean_ms", batch_service_mean_ms);
+  // Histogram rendered sparsely: only batch sizes actually observed.
+  out += "\"batch_histogram\": {";
+  bool first = true;
+  for (std::size_t s = 1; s < batch_histogram.size(); ++s) {
+    if (batch_histogram[s] == 0) continue;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s\"%zu\": %llu",
+                  first ? "" : ", ", s,
+                  static_cast<unsigned long long>(batch_histogram[s]));
+    out += buffer;
+    first = false;
+  }
+  out += "}}";
   return out;
 }
 
@@ -71,6 +87,22 @@ void Metrics::RecordLatency(double millis) {
 
 void Metrics::RecordRejected() {
   requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::RecordBatch(std::size_t batch_size, double service_millis) {
+  if (batch_size == 0) return;
+  batches_served_.fetch_add(1, std::memory_order_relaxed);
+  batch_samples_.fetch_add(batch_size, std::memory_order_relaxed);
+  batch_service_nanos_.fetch_add(
+      static_cast<std::uint64_t>(service_millis * 1e6),
+      std::memory_order_relaxed);
+  const std::size_t bucket = std::min(batch_size, kBatchHistogramMax);
+  batch_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = batch_size_max_.load(std::memory_order_relaxed);
+  while (seen < batch_size &&
+         !batch_size_max_.compare_exchange_weak(seen, batch_size,
+                                                std::memory_order_relaxed)) {
+  }
 }
 
 void Metrics::RecordScrubCycle() {
@@ -127,6 +159,27 @@ MetricsSnapshot Metrics::Snapshot() const {
       snap.uptime_seconds > 0.0
           ? static_cast<double>(snap.requests_served) / snap.uptime_seconds
           : 0.0;
+
+  snap.batches_served = batches_served_.load(std::memory_order_relaxed);
+  const std::uint64_t batch_samples =
+      batch_samples_.load(std::memory_order_relaxed);
+  snap.batch_size_mean =
+      snap.batches_served > 0
+          ? static_cast<double>(batch_samples) /
+                static_cast<double>(snap.batches_served)
+          : 0.0;
+  snap.batch_size_max = batch_size_max_.load(std::memory_order_relaxed);
+  snap.batch_service_mean_ms =
+      snap.batches_served > 0
+          ? static_cast<double>(
+                batch_service_nanos_.load(std::memory_order_relaxed)) /
+                1e6 / static_cast<double>(snap.batches_served)
+          : 0.0;
+  snap.batch_histogram.resize(batch_histogram_.size());
+  for (std::size_t s = 0; s < batch_histogram_.size(); ++s) {
+    snap.batch_histogram[s] = batch_histogram_[s].load(
+        std::memory_order_relaxed);
+  }
 
   std::vector<double> window;
   {

@@ -8,6 +8,7 @@
 // p50/p99, throughput) the availability experiments report.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -39,6 +40,16 @@ struct MetricsSnapshot {
   double latency_p99_ms = 0.0;
   double throughput_rps = 0.0;           // requests_served / uptime
 
+  // Micro-batching statistics: one "batch" is one PredictBatch (or single
+  // Predict) executed under one shared-lock acquisition by a worker.
+  std::uint64_t batches_served = 0;
+  double batch_size_mean = 0.0;          // requests per batch
+  std::uint64_t batch_size_max = 0;
+  double batch_service_mean_ms = 0.0;    // model time per batch (lock held)
+  /// batch_histogram[s] counts batches of exactly s requests (index 0
+  /// unused; sizes above kBatchHistogramMax clamp into the last bucket).
+  std::vector<std::uint64_t> batch_histogram;
+
   /// Flat JSON object with every field above, for dashboards and logs.
   std::string ToJson() const;
 };
@@ -52,9 +63,17 @@ class Metrics {
   /// Stamps the uptime epoch; called by InferenceEngine::Start().
   void MarkStarted();
 
+  /// Largest batch size tracked exactly by the histogram; bigger batches
+  /// clamp into this bucket.
+  static constexpr std::size_t kBatchHistogramMax = 64;
+
   /// Records one served request and its end-to-end latency.
   void RecordLatency(double millis);
   void RecordRejected();
+
+  /// Records one executed micro-batch: how many requests it carried and how
+  /// long the model ran (the shared-lock hold time).
+  void RecordBatch(std::size_t batch_size, double service_millis);
 
   void RecordScrubCycle();
   void RecordDetection(std::size_t flagged_layers);
@@ -79,6 +98,13 @@ class Metrics {
   std::atomic<std::uint64_t> corrupted_weights_{0};
   // Seconds stored as nanosecond integers so they can be atomics too.
   std::atomic<std::uint64_t> downtime_nanos_{0};
+
+  std::atomic<std::uint64_t> batches_served_{0};
+  std::atomic<std::uint64_t> batch_samples_{0};
+  std::atomic<std::uint64_t> batch_size_max_{0};
+  std::atomic<std::uint64_t> batch_service_nanos_{0};
+  std::array<std::atomic<std::uint64_t>, kBatchHistogramMax + 1>
+      batch_histogram_{};
 
   mutable std::mutex latency_mutex_;
   std::vector<double> latency_ring_;     // most recent kLatencyWindow samples

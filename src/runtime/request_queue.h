@@ -7,12 +7,14 @@
 // layer needs that the batch experiments never did.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace milr::runtime {
 
@@ -57,6 +59,44 @@ class BoundedQueue {
     items_.pop_front();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Batched pop for the engine's micro-batcher. Blocks until at least one
+  /// item is available, then appends up to `max_items` to `out`. When the
+  /// backlog alone cannot fill the batch and `linger` is positive, waits up
+  /// to `linger` for more arrivals before returning — trading a bounded
+  /// slice of latency for fuller batches. Returns the number of items
+  /// appended; 0 means the queue is closed *and* drained (consumer exit).
+  /// A closed queue never lingers: shutdown drains in whatever batch sizes
+  /// the backlog provides.
+  std::size_t PopBatch(std::vector<T>& out, std::size_t max_items,
+                       std::chrono::microseconds linger) {
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return 0;
+    std::size_t taken = 0;
+    const auto take_available = [&] {
+      while (!items_.empty() && taken < max_items) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+        not_full_.notify_one();
+      }
+    };
+    take_available();
+    if (taken < max_items && linger.count() > 0 && !closed_) {
+      const auto deadline = std::chrono::steady_clock::now() + linger;
+      while (taken < max_items && !closed_) {
+        if (!not_empty_.wait_until(lock, deadline, [&] {
+              return closed_ || !items_.empty();
+            })) {
+          break;  // linger window expired
+        }
+        take_available();
+      }
+    }
+    return taken;
   }
 
   /// Stops admission; blocked producers return false, consumers drain the

@@ -27,6 +27,12 @@ namespace {
 thread_local bool g_in_parallel_region = false;
 }  // namespace
 
+SerialRegionGuard::SerialRegionGuard() : previous_(g_in_parallel_region) {
+  g_in_parallel_region = true;
+}
+
+SerialRegionGuard::~SerialRegionGuard() { g_in_parallel_region = previous_; }
+
 void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain) {

@@ -17,4 +17,20 @@ void ParallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain = 1);
 
+/// RAII: marks the current thread as already inside a parallel region, so
+/// every ParallelFor it calls runs serially instead of spawning threads.
+/// Used by pools of long-lived workers (the inference engine) that already
+/// cover the cores: without it, each worker's nested ParallelFor would
+/// oversubscribe the machine workers × cores.
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 }  // namespace milr

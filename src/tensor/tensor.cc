@@ -98,7 +98,7 @@ float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
   return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
 }
 
-Tensor Tensor::Reshaped(Shape new_shape) const {
+Tensor Tensor::Reshaped(Shape new_shape) const& {
   if (new_shape.NumElements() != data_.size()) {
     throw std::invalid_argument("Tensor::Reshaped: size mismatch " +
                                 shape_.ToString() + " -> " +
@@ -107,8 +107,34 @@ Tensor Tensor::Reshaped(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+Tensor Tensor::Reshaped(Shape new_shape) && {
+  if (new_shape.NumElements() != data_.size()) {
+    throw std::invalid_argument("Tensor::Reshaped: size mismatch " +
+                                shape_.ToString() + " -> " +
+                                new_shape.ToString());
+  }
+  return Tensor(std::move(new_shape), std::move(data_));
+}
+
 void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
+}
+
+Shape WithBatchAxis(std::size_t batch, const Shape& sample) {
+  std::vector<std::size_t> dims;
+  dims.reserve(sample.rank() + 1);
+  dims.push_back(batch);
+  dims.insert(dims.end(), sample.dims().begin(), sample.dims().end());
+  return Shape(std::move(dims));
+}
+
+Shape StripBatchAxis(const Shape& batched) {
+  if (batched.rank() == 0 || batched[0] == 0) {
+    throw std::invalid_argument("StripBatchAxis: no batch axis in " +
+                                batched.ToString());
+  }
+  return Shape(std::vector<std::size_t>(batched.dims().begin() + 1,
+                                        batched.dims().end()));
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {

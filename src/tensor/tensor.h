@@ -78,7 +78,10 @@ class Tensor {
   }
 
   /// Returns a tensor with the same data and a new shape of equal size.
-  Tensor Reshaped(Shape new_shape) const;
+  Tensor Reshaped(Shape new_shape) const&;
+  /// Rvalue overload: steals the payload instead of copying it (hot-path
+  /// reshapes like the batch-axis wrap/strip around PredictBatch).
+  Tensor Reshaped(Shape new_shape) &&;
 
   void Fill(float value);
 
@@ -91,6 +94,14 @@ class Tensor {
   Shape shape_;
   std::vector<float> data_;
 };
+
+/// {B} + sample dims: the batched-activation shape convention shared by
+/// Layer::ForwardBatch, Model::PredictBatch and the engine's micro-batcher.
+Shape WithBatchAxis(std::size_t batch, const Shape& sample);
+
+/// Inverse of WithBatchAxis. Throws std::invalid_argument when `batched`
+/// has no axis to strip (rank 0) or an empty batch axis.
+Shape StripBatchAxis(const Shape& batched);
 
 /// Largest absolute elementwise difference; shapes must match.
 float MaxAbsDiff(const Tensor& a, const Tensor& b);

@@ -1,0 +1,143 @@
+// Equivalence of the tiled production GEMM kernels against the retained
+// naive reference kernels. The tiled kernels perform the same multiply-adds
+// in the same per-element order (see gemm.h), so equality is exact, and the
+// tests assert it bitwise across odd/prime/tile-straddling sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "support/prng.h"
+
+namespace milr::nn {
+namespace {
+
+// Sizes chosen to straddle every tile boundary: below/at/above the 4-row
+// register tile and the 64-column panel, plus primes that divide neither.
+constexpr std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 13, 31, 64, 67};
+
+std::vector<float> RandomBuffer(std::size_t n, Prng& prng) {
+  std::vector<float> buffer(n);
+  for (auto& v : buffer) v = prng.NextFloat(-2.0f, 2.0f);
+  return buffer;
+}
+
+void ExpectSame(const std::vector<float>& tiled,
+                const std::vector<float>& reference, std::size_t m,
+                std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < tiled.size(); ++i) {
+    ASSERT_EQ(tiled[i], reference[i])
+        << "m=" << m << " k=" << k << " n=" << n << " at " << i;
+  }
+}
+
+TEST(GemmTest, TiledMatchesReferenceExactly) {
+  Prng prng(101);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        const auto a = RandomBuffer(m * k, prng);
+        const auto b = RandomBuffer(k * n, prng);
+        // Accumulate into a non-zero C to cover the += contract.
+        const auto c0 = RandomBuffer(m * n, prng);
+        auto c_tiled = c0;
+        auto c_ref = c0;
+        GemmAccumulate(a.data(), b.data(), c_tiled.data(), m, k, n);
+        GemmAccumulateReference(a.data(), b.data(), c_ref.data(), m, k, n);
+        ExpectSame(c_tiled, c_ref, m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, TiledTransposedAMatchesReferenceExactly) {
+  Prng prng(202);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        const auto a = RandomBuffer(k * m, prng);  // stored (k,m)
+        const auto b = RandomBuffer(k * n, prng);
+        const auto c0 = RandomBuffer(m * n, prng);
+        auto c_tiled = c0;
+        auto c_ref = c0;
+        GemmTransposedAAccumulate(a.data(), b.data(), c_tiled.data(), m, k,
+                                  n);
+        GemmTransposedAAccumulateReference(a.data(), b.data(), c_ref.data(),
+                                           m, k, n);
+        ExpectSame(c_tiled, c_ref, m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, TiledTransposedBMatchesReferenceExactly) {
+  Prng prng(303);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        const auto a = RandomBuffer(m * k, prng);
+        const auto b = RandomBuffer(n * k, prng);  // stored (n,k)
+        const auto c0 = RandomBuffer(m * n, prng);
+        auto c_tiled = c0;
+        auto c_ref = c0;
+        GemmTransposedBAccumulate(a.data(), b.data(), c_tiled.data(), m, k,
+                                  n);
+        GemmTransposedBAccumulateReference(a.data(), b.data(), c_ref.data(),
+                                           m, k, n);
+        ExpectSame(c_tiled, c_ref, m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, SparseAAgrees) {
+  // Post-ReLU activations and im2col padding put exact zeros in A; every
+  // kernel must treat them as ordinary terms (no short-circuit).
+  Prng prng(404);
+  const std::size_t m = 9, k = 17, n = 33;
+  auto a = RandomBuffer(m * k, prng);
+  for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+  const auto b = RandomBuffer(k * n, prng);
+  const auto c0 = RandomBuffer(m * n, prng);
+  auto c_tiled = c0;
+  auto c_ref = c0;
+  GemmAccumulate(a.data(), b.data(), c_tiled.data(), m, k, n);
+  GemmAccumulateReference(a.data(), b.data(), c_ref.data(), m, k, n);
+  ExpectSame(c_tiled, c_ref, m, k, n);
+}
+
+TEST(GemmTest, NonFiniteWeightsPropagateIdentically) {
+  // The fault injectors can flip a weight to Inf/NaN. A zero activation
+  // times an Inf weight is NaN in IEEE; the tiled row-quad path, the tiled
+  // leftover path and the reference must all agree bit-for-bit so that
+  // Predict and PredictBatch serve the same outputs from a corrupted model.
+  Prng prng(505);
+  const std::size_t m = 7, k = 11, n = 9;  // leftover rows + quad rows
+  auto a = RandomBuffer(m * k, prng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;
+  auto b = RandomBuffer(k * n, prng);
+  b[3] = std::numeric_limits<float>::infinity();
+  b[k * n / 2] = std::numeric_limits<float>::quiet_NaN();
+  const auto c0 = RandomBuffer(m * n, prng);
+  auto c_tiled = c0;
+  auto c_ref = c0;
+  GemmAccumulate(a.data(), b.data(), c_tiled.data(), m, k, n);
+  GemmAccumulateReference(a.data(), b.data(), c_ref.data(), m, k, n);
+  bool saw_nan = false;
+  for (std::size_t i = 0; i < c_tiled.size(); ++i) {
+    std::uint32_t bits_tiled, bits_ref;
+    std::memcpy(&bits_tiled, &c_tiled[i], sizeof(bits_tiled));
+    std::memcpy(&bits_ref, &c_ref[i], sizeof(bits_ref));
+    ASSERT_EQ(bits_tiled, bits_ref) << "element " << i;
+    saw_nan = saw_nan || std::isnan(c_tiled[i]);
+  }
+  EXPECT_TRUE(saw_nan) << "corruption should have propagated";
+}
+
+}  // namespace
+}  // namespace milr::nn

@@ -1,0 +1,209 @@
+// Batched-vs-single equivalence: for every layer kind and for the paper's
+// three evaluation topologies, ForwardBatch / PredictBatch must match the
+// per-sample Forward / Predict results exactly (the batched paths are
+// specified as bit-identical, not merely close — see nn/layer.h).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/networks.h"
+#include "nn/init.h"
+#include "nn/model.h"
+#include "support/prng.h"
+
+namespace milr::nn {
+namespace {
+
+Tensor Stack(const std::vector<Tensor>& samples) {
+  const std::size_t stride = samples.front().size();
+  Tensor batched(WithBatchAxis(samples.size(), samples.front().shape()));
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    std::copy_n(samples[s].data(), stride, batched.data() + s * stride);
+  }
+  return batched;
+}
+
+Tensor Slice(const Tensor& batched, std::size_t s, const Shape& sample) {
+  const std::size_t stride = sample.NumElements();
+  Tensor one(sample);
+  std::copy_n(batched.data() + s * stride, stride, one.data());
+  return one;
+}
+
+std::vector<Tensor> RandomSamples(const Shape& sample, std::size_t count,
+                                  std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<Tensor> samples;
+  for (std::size_t s = 0; s < count; ++s) {
+    samples.push_back(RandomTensor(sample, prng));
+  }
+  return samples;
+}
+
+/// Asserts ForwardBatch(stack(samples)) == stack(Forward(sample)...) for
+/// batch sizes 1 (the degenerate case) and a non-trivial odd size.
+void ExpectBatchedMatchesSingle(const Layer& layer, const Shape& sample,
+                                std::uint64_t seed) {
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{5}}) {
+    const auto samples = RandomSamples(sample, batch, seed + batch);
+    const Tensor batched_out = layer.ForwardBatch(Stack(samples));
+    ASSERT_EQ(batched_out.shape(),
+              layer.BatchOutputShape(WithBatchAxis(batch, sample)));
+    const Shape sample_out = layer.OutputShape(sample);
+    for (std::size_t s = 0; s < batch; ++s) {
+      const Tensor single = layer.Forward(samples[s]);
+      const Tensor slice = Slice(batched_out, s, sample_out);
+      EXPECT_EQ(MaxAbsDiff(single, slice), 0.0f)
+          << LayerKindName(layer.kind()) << " batch=" << batch
+          << " sample=" << s;
+    }
+  }
+}
+
+void RandomizeParams(Layer& layer, std::uint64_t seed) {
+  Prng prng(seed);
+  for (auto& p : layer.Params()) p = prng.NextFloat(-1.0f, 1.0f);
+}
+
+// ------------------------------------------------ per-layer-kind coverage
+
+TEST(BatchEquivalenceTest, Conv2DValidPadding) {
+  Conv2DLayer conv(3, 3, 7, Padding::kValid);
+  RandomizeParams(conv, 1);
+  ExpectBatchedMatchesSingle(conv, Shape{9, 9, 3}, 10);
+}
+
+TEST(BatchEquivalenceTest, Conv2DSamePadding) {
+  Conv2DLayer conv(5, 2, 4, Padding::kSame);
+  RandomizeParams(conv, 2);
+  ExpectBatchedMatchesSingle(conv, Shape{8, 8, 2}, 20);
+}
+
+TEST(BatchEquivalenceTest, Dense) {
+  DenseLayer dense(37, 11);
+  RandomizeParams(dense, 3);
+  ExpectBatchedMatchesSingle(dense, Shape{37}, 30);
+}
+
+TEST(BatchEquivalenceTest, BiasOnConvActivations) {
+  BiasLayer bias(5);
+  RandomizeParams(bias, 4);
+  ExpectBatchedMatchesSingle(bias, Shape{6, 6, 5}, 40);
+}
+
+TEST(BatchEquivalenceTest, BiasOnDenseActivations) {
+  BiasLayer bias(13);
+  RandomizeParams(bias, 5);
+  ExpectBatchedMatchesSingle(bias, Shape{13}, 50);
+}
+
+TEST(BatchEquivalenceTest, ReLU) {
+  ExpectBatchedMatchesSingle(ReLULayer(), Shape{4, 4, 3}, 60);
+}
+
+TEST(BatchEquivalenceTest, MaxPool) {
+  ExpectBatchedMatchesSingle(MaxPool2DLayer(2), Shape{8, 8, 3}, 70);
+}
+
+TEST(BatchEquivalenceTest, AvgPool) {
+  ExpectBatchedMatchesSingle(AvgPool2DLayer(2), Shape{6, 6, 2}, 80);
+}
+
+TEST(BatchEquivalenceTest, Flatten) {
+  ExpectBatchedMatchesSingle(FlattenLayer(), Shape{3, 3, 4}, 90);
+}
+
+TEST(BatchEquivalenceTest, Dropout) {
+  ExpectBatchedMatchesSingle(DropoutLayer(0.5f), Shape{5, 5, 2}, 100);
+}
+
+TEST(BatchEquivalenceTest, ZeroPad2D) {
+  ExpectBatchedMatchesSingle(ZeroPad2DLayer(2), Shape{5, 5, 3}, 110);
+}
+
+TEST(BatchEquivalenceTest, DefaultPerSampleFallbackAgrees) {
+  // A layer without a ForwardBatch override exercises Layer's default
+  // per-sample loop; it must obey the same contract.
+  class NegateLayer final : public Layer {
+   public:
+    LayerKind kind() const override { return LayerKind::kReLU; }
+    Shape OutputShape(const Shape& input) const override { return input; }
+    Tensor Forward(const Tensor& input) const override {
+      Tensor out = input;
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = -out[i];
+      return out;
+    }
+    Tensor Backward(const Tensor&, const Tensor&, const Tensor& dy,
+                    std::span<float>) const override {
+      return dy;
+    }
+  };
+  ExpectBatchedMatchesSingle(NegateLayer(), Shape{4, 3, 2}, 120);
+}
+
+// ---------------------------------------------------- model-level coverage
+
+void ExpectModelBatchMatchesPredict(const Model& model, std::size_t batch,
+                                    std::uint64_t seed) {
+  const auto samples = RandomSamples(model.input_shape(), batch, seed);
+  // Direct per-layer chain: the pre-batching definition of Predict.
+  std::vector<Tensor> singles;
+  for (const auto& sample : samples) {
+    Tensor current = sample;
+    for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+      current = model.layer(i).Forward(current);
+    }
+    singles.push_back(std::move(current));
+  }
+
+  const Tensor batched_out = model.PredictBatch(Stack(samples));
+  ASSERT_EQ(batched_out.shape(),
+            WithBatchAxis(batch, model.output_shape()));
+  for (std::size_t s = 0; s < batch; ++s) {
+    EXPECT_EQ(MaxAbsDiff(Slice(batched_out, s, model.output_shape()),
+                         singles[s]),
+              0.0f)
+        << "sample " << s << " of batch " << batch;
+    // Predict must be exactly the B = 1 case.
+    EXPECT_EQ(MaxAbsDiff(model.Predict(samples[s]), singles[s]), 0.0f);
+  }
+
+  // The stacking convenience overload returns the same per-sample tensors.
+  const auto unpacked = model.PredictBatch(samples);
+  ASSERT_EQ(unpacked.size(), batch);
+  for (std::size_t s = 0; s < batch; ++s) {
+    EXPECT_EQ(MaxAbsDiff(unpacked[s], singles[s]), 0.0f);
+  }
+}
+
+TEST(BatchEquivalenceTest, MnistTopology) {
+  Model model = apps::BuildMnistNetwork();
+  InitHeUniform(model, 7);
+  ExpectModelBatchMatchesPredict(model, 1, 200);
+  ExpectModelBatchMatchesPredict(model, 3, 201);
+}
+
+TEST(BatchEquivalenceTest, CifarSmallTopology) {
+  Model model = apps::BuildCifarSmallNetwork();
+  InitHeUniform(model, 8);
+  ExpectModelBatchMatchesPredict(model, 2, 300);
+}
+
+TEST(BatchEquivalenceTest, CifarLargeTopology) {
+  Model model = apps::BuildCifarLargeNetwork();
+  InitHeUniform(model, 9);
+  ExpectModelBatchMatchesPredict(model, 2, 400);
+}
+
+TEST(BatchEquivalenceTest, RejectsBatchlessInput) {
+  Model model(Shape{6, 6, 1});
+  model.AddConv(3, 2, Padding::kValid).AddBias().AddReLU();
+  EXPECT_THROW(model.PredictBatch(Tensor(Shape{6})), std::invalid_argument);
+  EXPECT_THROW(model.PredictBatch(std::vector<Tensor>{
+                   Tensor(Shape{6, 6, 1}), Tensor(Shape{6, 6, 2})}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace milr::nn

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -271,6 +272,105 @@ TEST(InferenceEngineTest, ScrubberHealsLiveCorruptionUnderLoad) {
         << MaxAbsDiff(healed, golden_outputs[i]);
   }
   engine.Stop();
+}
+
+// ----------------------------------------------------------- Micro-batching
+
+TEST(InferenceEngineTest, DefaultWorkerThreadsTracksHardware) {
+  const EngineConfig config;
+  EXPECT_GE(config.worker_threads, 1u);
+  // ParallelWorkerCount() is hardware_concurrency with a floor of 1,
+  // subject to the MILR_THREADS cap — the engine default must match it so
+  // one knob governs the whole process.
+  EXPECT_EQ(config.worker_threads, ParallelWorkerCount());
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && std::getenv("MILR_THREADS") == nullptr) {
+    EXPECT_EQ(config.worker_threads, static_cast<std::size_t>(hw));
+  }
+}
+
+// Queued backlog is served in micro-batches whose outputs must be
+// indistinguishable from the single-sample path, including the final
+// non-divisible batch (6 requests, max_batch 4 -> e.g. 4 + 2).
+TEST(InferenceEngineTest, MicroBatchedServingMatchesSinglePath) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 6);
+  std::vector<Tensor> expected;
+  for (const auto& probe : probes) expected.push_back(model.Predict(probe));
+
+  EngineConfig config;
+  config.worker_threads = 1;  // deterministic drain order
+  config.max_batch = 4;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  // Queue everything before Start so the worker sees a full backlog and
+  // must split it 4 + 2.
+  std::vector<std::future<Tensor>> futures;
+  for (const auto& probe : probes) futures.push_back(engine.Submit(probe));
+  engine.Start();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(futures[i].get(), expected[i]), 0.0f) << i;
+  }
+
+  const auto metrics = engine.Snapshot();
+  EXPECT_EQ(metrics.requests_served, probes.size());
+  EXPECT_EQ(metrics.batches_served, 2u);
+  EXPECT_EQ(metrics.batch_size_max, 4u);
+  ASSERT_GT(metrics.batch_histogram.size(), 4u);
+  EXPECT_EQ(metrics.batch_histogram[4], 1u);
+  EXPECT_EQ(metrics.batch_histogram[2], 1u);
+}
+
+TEST(InferenceEngineTest, BatchHistogramAccountsForEveryRequest) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 4);
+
+  EngineConfig config;
+  config.worker_threads = 2;
+  config.max_batch = 8;
+  config.batch_linger = std::chrono::microseconds(200);
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(engine.Submit(probes[i % probes.size()]));
+  }
+  for (auto& future : futures) future.get();
+
+  const auto metrics = engine.Snapshot();
+  EXPECT_EQ(metrics.requests_served, 40u);
+  EXPECT_GE(metrics.batches_served, 5u);   // at most 8 riders per batch
+  EXPECT_LE(metrics.batches_served, 40u);
+  EXPECT_LE(metrics.batch_size_max, 8u);
+  std::uint64_t accounted = 0;
+  for (std::size_t s = 1; s < metrics.batch_histogram.size(); ++s) {
+    accounted += metrics.batch_histogram[s] * s;
+  }
+  EXPECT_EQ(accounted, metrics.requests_served);
+  EXPECT_NEAR(metrics.batch_size_mean,
+              static_cast<double>(metrics.requests_served) /
+                  static_cast<double>(metrics.batches_served),
+              1e-9);
+}
+
+// A misshapen input sharing a drain with healthy requests must fail alone.
+TEST(InferenceEngineTest, MisshapenRequestFailsWithoutPoisoningTheBatch) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 2);
+
+  EngineConfig config;
+  config.worker_threads = 1;
+  config.max_batch = 4;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  auto good_a = engine.Submit(probes[0]);
+  auto bad = engine.Submit(Tensor(Shape{3, 3, 1}));  // wrong input shape
+  auto good_b = engine.Submit(probes[1]);
+  engine.Start();
+  EXPECT_EQ(MaxAbsDiff(good_a.get(), model.Predict(probes[0])), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(good_b.get(), model.Predict(probes[1])), 0.0f);
+  EXPECT_THROW(bad.get(), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- Metrics
