@@ -1,4 +1,5 @@
-// Serving throughput of the protected runtime across micro-batch sizes.
+// Serving throughput of the protected runtime across micro-batch sizes
+// and GEMM kernel tiers.
 //
 // The deployment question behind the batching refactor: with the background
 // scrubber enabled, how many requests/sec does the engine sustain as
@@ -8,12 +9,20 @@
 // the curve is the availability model's "useful work between detection
 // windows" knob made measurable.
 //
-// Sweeps max_batch = 1, 4, 8, 16 and prints the speedup over the batch-1
-// baseline. Scrubber is ON for every phase (the production configuration).
+// The kernel dimension sweeps KernelConfig::kExact (bit-exact tiled
+// kernels, the default and fault-injection baseline) against
+// KernelConfig::kFast (packed k-blocked SIMD panels): the printed
+// fast-vs-exact ratio is the single-core speedup the packed tier buys at
+// each batch size. Scrubber is ON for every phase (the production
+// configuration).
 //
-// Knobs: MILR_NET (cifar_large | cifar_small | mnist | tiny; default
-// cifar_large), MILR_BENCH_SECONDS (per phase, default 2), MILR_CLIENTS
-// (client threads, default 2), MILR_WORKERS (engine workers, default 2).
+// Knobs: MILR_NET (cifar_large | cifar_small | mnist | dense | tiny;
+// default cifar_large), MILR_BENCH_SECONDS (per phase, default 2),
+// MILR_CLIENTS (client threads, default 2), MILR_WORKERS (engine workers,
+// default 2).
+//
+// `--smoke` is the CI mode: tiny net, two batch sizes, sub-second phases —
+// just enough to fail loudly if a kernel or engine regression lands.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +35,7 @@
 
 #include "apps/networks.h"
 #include "nn/init.h"
+#include "nn/kernel_config.h"
 #include "nn/model.h"
 #include "runtime/engine.h"
 #include "support/prng.h"
@@ -57,6 +67,23 @@ milr::nn::Model BuildServingModel(const char* which) {
     nn::InitHeUniform(model, /*seed=*/11);
     return model;
   }
+  if (std::strcmp(which, "dense") == 0) {
+    // Dense-heavy MLP: per request virtually all time is the (B,N)·(N,P)
+    // dense GEMMs, so this sweep isolates the kernel-tier speedup from
+    // im2col and pooling overheads. Widths are sized so total weights
+    // (~1.1 MB) stay L2-resident: wider layers make micro-batch serving
+    // memory-bound on streaming weights from L3, where no kernel tier can
+    // differ — that regime is a valid serving workload but a useless
+    // kernel benchmark.
+    nn::Model model(Shape{256});
+    model.AddDense(320).AddBias().AddReLU();
+    model.AddDense(320).AddBias().AddReLU();
+    model.AddDense(320).AddBias().AddReLU();
+    model.AddDense(256).AddBias().AddReLU();
+    model.AddDense(10).AddBias();
+    nn::InitHeUniform(model, /*seed=*/11);
+    return model;
+  }
   // "tiny": the original smoke-test topology, handy for quick runs.
   nn::Model model(Shape{16, 16, 1});
   model.AddConv(3, 8, nn::Padding::kValid).AddBias().AddReLU();
@@ -68,20 +95,141 @@ milr::nn::Model BuildServingModel(const char* which) {
   return model;
 }
 
+struct PhaseResult {
+  double rps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean_batch = 0.0;
+  double batch_ms = 0.0;
+  unsigned long long scrub_cycles = 0;
+};
+
+PhaseResult RunPhase(milr::nn::Model& model,
+                     const std::vector<std::vector<float>>& golden,
+                     const std::vector<milr::Tensor>& probes,
+                     milr::nn::KernelConfig kernel, std::size_t max_batch,
+                     std::size_t workers, std::size_t clients,
+                     double seconds) {
+  using namespace milr;
+  model.RestoreParams(golden);  // engine needs the golden state
+  runtime::EngineConfig config;
+  config.worker_threads = workers;
+  config.queue_capacity = 512;
+  config.max_batch = max_batch;
+  // A short linger lets partial batches fill under bursty arrivals;
+  // meaningless (and skipped) at batch 1.
+  config.batch_linger = std::chrono::microseconds(max_batch > 1 ? 200 : 0);
+  config.scrubber_enabled = true;
+  config.scrub_period = std::chrono::milliseconds(20);
+  config.kernel = kernel;
+  runtime::InferenceEngine engine(model, config);
+  engine.Start();
+
+  // Closed-loop clients with a pipeline window: enough requests stay
+  // outstanding to let every worker fill its micro-batch.
+  const std::size_t window =
+      std::max<std::size_t>(1, (2 * max_batch * workers) / clients);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (std::size_t c = 0; c < clients; ++c) {
+    load.emplace_back([&, c] {
+      std::deque<std::future<Tensor>> inflight;
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        inflight.push_back(engine.Submit(probes[i % probes.size()]));
+        ++i;
+        if (inflight.size() >= window) {
+          inflight.front().get();
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        inflight.front().get();
+        inflight.pop_front();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : load) t.join();
+
+  const auto m = engine.Snapshot();
+  engine.Stop();
+  model.set_kernel_config(nn::KernelConfig::kExact);  // restore default
+  PhaseResult result;
+  result.rps = m.throughput_rps;
+  result.p50 = m.latency_p50_ms;
+  result.p99 = m.latency_p99_ms;
+  result.mean_batch = m.batch_size_mean;
+  result.batch_ms = m.batch_service_mean_ms;
+  result.scrub_cycles = m.scrub_cycles;
+  return result;
+}
+
+/// Kernel-bound sweep: times Model::PredictBatch in a tight single-thread
+/// loop, exact vs fast, per batch size. Unlike the engine phases below it
+/// has no client/worker/scrubber scheduling noise, so the printed
+/// fast/exact ratio is a stable measure of the kernel tier itself on any
+/// machine (on a single hardware thread the engine sweep is dominated by
+/// contention between load generators and the worker).
+void RunModelSweep(milr::nn::Model& model,
+                   const std::vector<std::size_t>& batches, double seconds) {
+  using namespace milr;
+  std::printf("model-path sweep (single thread, no engine):\n");
+  Prng prng(17);
+  for (const std::size_t b : batches) {
+    Tensor batch =
+        RandomTensor(WithBatchAxis(b, model.input_shape()), prng);
+    double per_call[2] = {0.0, 0.0};
+    for (int cfg = 0; cfg < 2; ++cfg) {
+      model.set_kernel_config(cfg == 0 ? nn::KernelConfig::kExact
+                                       : nn::KernelConfig::kFast);
+      model.PredictBatch(batch);  // warm caches and scratch
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double>(seconds);
+      std::size_t calls = 0;
+      const auto start = std::chrono::steady_clock::now();
+      while (std::chrono::steady_clock::now() < deadline) {
+        model.PredictBatch(batch);
+        ++calls;
+      }
+      per_call[cfg] = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      static_cast<double>(calls);
+    }
+    model.set_kernel_config(nn::KernelConfig::kExact);
+    std::printf("  batch=%-2zu  exact %8.3f ms/call  fast %8.3f ms/call  "
+                "fast/exact=%.2fx\n",
+                b, per_call[0] * 1e3, per_call[1] * 1e3,
+                per_call[1] > 0.0 ? per_call[0] / per_call[1] : 0.0);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace milr;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   const char* net = std::getenv("MILR_NET");
-  if (net == nullptr) net = "cifar_large";
+  if (net == nullptr) net = smoke ? "tiny" : "cifar_large";
   const double seconds =
-      static_cast<double>(EnvSize("MILR_BENCH_SECONDS", 2));
+      smoke ? 0.3
+            : static_cast<double>(EnvSize("MILR_BENCH_SECONDS", 2));
   const std::size_t clients = EnvSize("MILR_CLIENTS", 2);
   const std::size_t workers = EnvSize("MILR_WORKERS", 2);
+  const std::vector<std::size_t> batches =
+      smoke ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 4, 8, 16};
 
-  std::printf("runtime_throughput: net=%s, %zu clients, %zu workers, %.0fs "
-              "per phase, scrubber on\n",
-              net, clients, workers, seconds);
+  std::printf("runtime_throughput%s: net=%s, %zu clients, %zu workers, "
+              "%.1fs per phase, scrubber on\n",
+              smoke ? " (smoke)" : "", net, clients, workers, seconds);
 
   nn::Model model = BuildServingModel(net);
   const auto golden = model.SnapshotParams();
@@ -91,61 +239,34 @@ int main() {
     probes.push_back(RandomTensor(model.input_shape(), probe_prng));
   }
 
-  double batch1_rps = 0.0;
-  for (const std::size_t max_batch : {1, 4, 8, 16}) {
-    model.RestoreParams(golden);  // engine needs the golden state
-    runtime::EngineConfig config;
-    config.worker_threads = workers;
-    config.queue_capacity = 512;
-    config.max_batch = max_batch;
-    // A short linger lets partial batches fill under bursty arrivals;
-    // meaningless (and skipped) at batch 1.
-    config.batch_linger =
-        std::chrono::microseconds(max_batch > 1 ? 200 : 0);
-    config.scrubber_enabled = true;
-    config.scrub_period = std::chrono::milliseconds(20);
-    runtime::InferenceEngine engine(model, config);
-    engine.Start();
+  RunModelSweep(model, batches, smoke ? 0.1 : 0.5);
 
-    // Closed-loop clients with a pipeline window: enough requests stay
-    // outstanding to let every worker fill its micro-batch.
-    const std::size_t window =
-        std::max<std::size_t>(1, (2 * max_batch * workers) / clients);
-    std::atomic<bool> stop{false};
-    std::vector<std::thread> load;
-    for (std::size_t c = 0; c < clients; ++c) {
-      load.emplace_back([&, c] {
-        std::deque<std::future<Tensor>> inflight;
-        std::size_t i = c;
-        while (!stop.load(std::memory_order_relaxed)) {
-          inflight.push_back(engine.Submit(probes[i % probes.size()]));
-          ++i;
-          if (inflight.size() >= window) {
-            inflight.front().get();
-            inflight.pop_front();
-          }
-        }
-        while (!inflight.empty()) {
-          inflight.front().get();
-          inflight.pop_front();
-        }
-      });
+  // exact first (the baseline), then fast; per-batch results are kept so
+  // the final table prints the fast-vs-exact speedup at equal batch size.
+  std::vector<PhaseResult> exact_results;
+  for (const nn::KernelConfig kernel :
+       {nn::KernelConfig::kExact, nn::KernelConfig::kFast}) {
+    std::printf("kernel=%s\n", nn::KernelConfigName(kernel));
+    double batch1_rps = 0.0;
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      const std::size_t max_batch = batches[bi];
+      const PhaseResult r = RunPhase(model, golden, probes, kernel,
+                                     max_batch, workers, clients, seconds);
+      if (bi == 0) batch1_rps = r.rps;
+      std::printf("  max_batch=%-2zu  %9.1f req/s  (%.2fx vs first)  "
+                  "p50=%.2fms p99=%.2fms  mean_batch=%.2f  batch_ms=%.2f  "
+                  "scrub_cycles=%llu",
+                  max_batch, r.rps,
+                  batch1_rps > 0.0 ? r.rps / batch1_rps : 1.0, r.p50, r.p99,
+                  r.mean_batch, r.batch_ms, r.scrub_cycles);
+      if (kernel == nn::KernelConfig::kExact) {
+        exact_results.push_back(r);
+      } else if (bi < exact_results.size() &&
+                 exact_results[bi].rps > 0.0) {
+        std::printf("  fast/exact=%.2fx", r.rps / exact_results[bi].rps);
+      }
+      std::printf("\n");
     }
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-    stop.store(true);
-    for (auto& t : load) t.join();
-
-    const auto m = engine.Snapshot();
-    engine.Stop();
-    if (max_batch == 1) batch1_rps = m.throughput_rps;
-    std::printf("  max_batch=%-2zu  %9.1f req/s  (%.2fx vs batch 1)  "
-                "p50=%.2fms p99=%.2fms  mean_batch=%.2f  batch_ms=%.2f  "
-                "scrub_cycles=%llu\n",
-                max_batch, m.throughput_rps,
-                batch1_rps > 0.0 ? m.throughput_rps / batch1_rps : 1.0,
-                m.latency_p50_ms, m.latency_p99_ms, m.batch_size_mean,
-                m.batch_service_mean_ms,
-                static_cast<unsigned long long>(m.scrub_cycles));
   }
   return 0;
 }

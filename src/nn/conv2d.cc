@@ -1,12 +1,62 @@
 #include "nn/conv2d.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/gemm.h"
 #include "support/parallel.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace milr::nn {
+
+namespace {
+
+std::atomic<std::size_t> g_patch_budget_override{0};
+
+std::size_t DerivedPatchBudgetBytes() {
+  static const std::size_t derived = [] {
+    if (const char* env = std::getenv("MILR_PATCH_BUDGET")) {
+      const long long parsed = std::strtoll(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    // Size the materialized patch matrix to the last-level cache: past
+    // that, every GEMM pass re-streams it from DRAM and materialization
+    // only adds memory pressure (tens of MB per conv at max_batch 16+).
+    long cache = -1;
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+    cache = sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    if (cache <= 0) {
+      cache = sysconf(_SC_LEVEL2_CACHE_SIZE);
+      if (cache > 0) cache *= 4;  // L2 is per-core; allow some spill
+    }
+#endif
+    constexpr std::size_t kFallback = 8u << 20;
+    constexpr std::size_t kFloor = 1u << 20;
+    if (cache <= 0) return kFallback;
+    return std::max(kFloor, static_cast<std::size_t>(cache));
+  }();
+  return derived;
+}
+
+}  // namespace
+
+std::size_t PatchMatrixBudgetBytes() {
+  const std::size_t override_bytes =
+      g_patch_budget_override.load(std::memory_order_relaxed);
+  return override_bytes != 0 ? override_bytes : DerivedPatchBudgetBytes();
+}
+
+void SetPatchMatrixBudgetBytes(std::size_t bytes) {
+  g_patch_budget_override.store(bytes, std::memory_order_relaxed);
+}
 
 Conv2DLayer::Conv2DLayer(std::size_t filter_size, std::size_t in_channels,
                          std::size_t out_channels, Padding padding)
@@ -56,32 +106,39 @@ Shape Conv2DLayer::OutputShape(const Shape& input) const {
 
 void Conv2DLayer::Im2ColInto(const float* src, std::size_t input_extent,
                              float* dst) const {
+  const std::size_t g = OutputExtent(input_extent);
+  Im2ColRowsInto(src, input_extent, 0, g * g, dst);
+}
+
+void Conv2DLayer::Im2ColRowsInto(const float* src, std::size_t input_extent,
+                                 std::size_t row_begin,
+                                 std::size_t row_count, float* dst) const {
   const std::size_t m = input_extent;
   const std::size_t g = OutputExtent(m);
   const std::size_t f = filter_size_;
   const std::size_t z = in_channels_;
   const std::size_t p = pad();
-  for (std::size_t i = 0; i < g; ++i) {
-    for (std::size_t j = 0; j < g; ++j) {
-      float* row = dst + (i * g + j) * (f * f * z);
-      for (std::size_t f1 = 0; f1 < f; ++f1) {
-        // Input row index with padding offset; skip out-of-bounds (zeros).
-        const std::ptrdiff_t r =
-            static_cast<std::ptrdiff_t>(i + f1) - static_cast<std::ptrdiff_t>(p);
-        for (std::size_t f2 = 0; f2 < f; ++f2) {
-          const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(j + f2) -
-                                   static_cast<std::ptrdiff_t>(p);
-          float* cell = row + (f1 * f + f2) * z;
-          if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(m) ||
-              c >= static_cast<std::ptrdiff_t>(m)) {
-            continue;  // zero padding (destination starts zero-filled)
-          }
-          const float* cell_src =
-              src + (static_cast<std::size_t>(r) * m +
-                     static_cast<std::size_t>(c)) *
-                        z;
-          for (std::size_t ch = 0; ch < z; ++ch) cell[ch] = cell_src[ch];
+  for (std::size_t rr = 0; rr < row_count; ++rr) {
+    const std::size_t i = (row_begin + rr) / g;
+    const std::size_t j = (row_begin + rr) % g;
+    float* row = dst + rr * (f * f * z);
+    for (std::size_t f1 = 0; f1 < f; ++f1) {
+      // Input row index with padding offset; skip out-of-bounds (zeros).
+      const std::ptrdiff_t r =
+          static_cast<std::ptrdiff_t>(i + f1) - static_cast<std::ptrdiff_t>(p);
+      for (std::size_t f2 = 0; f2 < f; ++f2) {
+        const std::ptrdiff_t c = static_cast<std::ptrdiff_t>(j + f2) -
+                                 static_cast<std::ptrdiff_t>(p);
+        float* cell = row + (f1 * f + f2) * z;
+        if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(m) ||
+            c >= static_cast<std::ptrdiff_t>(m)) {
+          continue;  // zero padding (destination starts zero-filled)
         }
+        const float* cell_src =
+            src + (static_cast<std::size_t>(r) * m +
+                   static_cast<std::size_t>(c)) *
+                      z;
+        for (std::size_t ch = 0; ch < z; ++ch) cell[ch] = cell_src[ch];
       }
     }
   }
@@ -157,10 +214,53 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
   const std::size_t plen = PatchLength();
   const std::size_t sample_rows = g * g;
   const std::size_t rows = batch * sample_rows;
+  const KernelConfig kernel = kernel_config();
+  Tensor out(Shape{batch, g, g, out_channels_});
 
-  // Stacked im2col: sample s owns rows [s·G², (s+1)·G²) of the patch
-  // matrix, so the batched GEMM below is exactly B independent copies of
-  // the single-sample GEMM — results are bit-identical to Forward.
+  // Whether materialized or streamed, sample s owns rows [s·G², (s+1)·G²)
+  // of the logical patch matrix and every output row accumulates over the
+  // full, unsplit patch length — so under the exact tier both paths are
+  // bit-identical to Forward, and the streamed path merely bounds memory.
+  const std::size_t patch_bytes = rows * plen * sizeof(float);
+  if (patch_bytes > PatchMatrixBudgetBytes()) {
+    // Streamed row-block path: never materialize the (B·G², F²Z) operand.
+    // Each chunk im2cols a row range of one sample into a thread-local
+    // scratch and runs the GEMM straight out of it. The scratch is sized
+    // from a per-worker share of the budget: ParallelFor can hold one
+    // chunk live per worker, so dividing keeps the *aggregate* resident
+    // scratch at the cache-derived bound.
+    const std::size_t budget_rows = std::max<std::size_t>(
+        1, PatchMatrixBudgetBytes() /
+               std::max<std::size_t>(1, ParallelWorkerCount()) /
+               (plen * sizeof(float)));
+    // Floor of 64 rows keeps the GEMM efficient even under a tiny budget
+    // (the budget is a memory target, not a hard cap).
+    const std::size_t chunk_rows =
+        std::min(sample_rows, std::max<std::size_t>(64, budget_rows));
+    const std::size_t chunks_per_sample =
+        (sample_rows + chunk_rows - 1) / chunk_rows;
+    const std::size_t in_stride = m * m * in_channels_;
+    ParallelFor(0, batch * chunks_per_sample, [&](std::size_t idx) {
+      const std::size_t s = idx / chunks_per_sample;
+      const std::size_t row_begin = (idx % chunks_per_sample) * chunk_rows;
+      const std::size_t count = std::min(chunk_rows, sample_rows - row_begin);
+      thread_local std::vector<float> scratch;
+      if (scratch.size() < count * plen) scratch.resize(count * plen);
+      // Padding cells are skipped by im2col and must read as zero; with
+      // valid padding every cell is written, so skip the clear.
+      if (pad() > 0) std::fill_n(scratch.data(), count * plen, 0.0f);
+      Im2ColRowsInto(input.data() + s * in_stride, m, row_begin, count,
+                     scratch.data());
+      GemmAccumulate(kernel, scratch.data(), filters_.data(),
+                     out.data() + (s * sample_rows + row_begin) *
+                                      out_channels_,
+                     count, plen, out_channels_);
+    });
+    return out;
+  }
+
+  // Materialized path: stacked im2col, then one logical GEMM parallelized
+  // across row blocks (each block owns a disjoint slice of C).
   Tensor patches(Shape{rows, plen});
   const std::size_t in_stride = m * m * in_channels_;
   ParallelFor(0, batch, [&](std::size_t s) {
@@ -168,16 +268,12 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
                patches.data() + s * sample_rows * plen);
   });
 
-  Tensor out(Shape{batch, g, g, out_channels_});
-  // Parallelize across row blocks when the batch carries real work; each
-  // block owns a disjoint slice of C, and the per-element accumulation
-  // order is unchanged. Small GEMMs stay serial (one block).
   constexpr std::size_t kBlockRows = 128;
   const std::size_t blocks = (rows + kBlockRows - 1) / kBlockRows;
   ParallelFor(0, blocks, [&](std::size_t blk) {
     const std::size_t begin = blk * kBlockRows;
     const std::size_t count = std::min(kBlockRows, rows - begin);
-    GemmAccumulate(patches.data() + begin * plen, filters_.data(),
+    GemmAccumulate(kernel, patches.data() + begin * plen, filters_.data(),
                    out.data() + begin * out_channels_, count, plen,
                    out_channels_);
   });

@@ -17,6 +17,16 @@ namespace milr::nn {
 
 enum class Padding { kValid, kSame };
 
+/// Upper bound, in bytes, on the im2col patch matrix a batched conv may
+/// materialize at once. Above it, ForwardBatch streams the GEMM per row
+/// block instead of building the full (B·G², F²Z) operand. Derived from
+/// the machine's last-level cache (fallback 8 MiB), overridable with the
+/// MILR_PATCH_BUDGET env var (bytes).
+std::size_t PatchMatrixBudgetBytes();
+
+/// Test/operator override for the budget; 0 restores the derived default.
+void SetPatchMatrixBudgetBytes(std::size_t bytes);
+
 class Conv2DLayer final : public Layer {
  public:
   /// Filters are (F,F,Z,Y): F×F spatial, Z input channels, Y filters.
@@ -27,10 +37,16 @@ class Conv2DLayer final : public Layer {
 
   LayerKind kind() const override { return LayerKind::kConv2D; }
   Shape OutputShape(const Shape& input) const override;
+  /// Always the exact GEMM tier — MILR's init/detect/recover passes come
+  /// through here and their signatures must be reproducible bit-for-bit.
   Tensor Forward(const Tensor& input) const override;
   /// Batched im2col: stacks every sample's patch matrix into one
   /// (B·G², F²Z) operand and runs a single GEMM against the filters,
   /// parallelized across row blocks when the product is large enough.
+  /// Honors the configured kernel tier, and when the stacked patch matrix
+  /// would exceed PatchMatrixBudgetBytes() it streams the GEMM per row
+  /// block without ever materializing the full operand (bit-identical to
+  /// the materialized path — row blocks do not change accumulation order).
   Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
@@ -76,6 +92,13 @@ class Conv2DLayer final : public Layer {
   /// zero-filled (padding cells are skipped, not written).
   void Im2ColInto(const float* src, std::size_t input_extent,
                   float* dst) const;
+
+  /// Row-range im2col for the streamed path: writes patch rows
+  /// [row_begin, row_begin + row_count) of one sample (rows index output
+  /// pixels i·G + j) into `dst`, which must be zero-filled.
+  void Im2ColRowsInto(const float* src, std::size_t input_extent,
+                      std::size_t row_begin, std::size_t row_count,
+                      float* dst) const;
 
   std::size_t filter_size_;
   std::size_t in_channels_;

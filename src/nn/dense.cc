@@ -34,11 +34,16 @@ Shape DenseLayer::OutputShape(const Shape& input) const {
 }
 
 Tensor DenseLayer::Forward(const Tensor& input) const {
+  return ForwardWith(input, KernelConfig::kExact);
+}
+
+Tensor DenseLayer::ForwardWith(const Tensor& input,
+                               KernelConfig kernel) const {
   CheckInput(input.shape());
   const std::size_t rows = input.shape().rank() == 1 ? 1 : input.shape()[0];
   Tensor out(OutputShape(input.shape()));
   if (rows < 32) {
-    GemmAccumulate(input.data(), weights_.data(), out.data(), rows,
+    GemmAccumulate(kernel, input.data(), weights_.data(), out.data(), rows,
                    in_features_, out_features_);
   } else {
     // Large batches appear on MILR's initialization path (golden outputs of
@@ -49,9 +54,9 @@ Tensor DenseLayer::Forward(const Tensor& input) const {
     ParallelFor(0, blocks, [&](std::size_t b) {
       const std::size_t begin = b * kBlock;
       const std::size_t count = std::min(kBlock, rows - begin);
-      GemmAccumulate(input.data() + begin * in_features_, weights_.data(),
-                     out.data() + begin * out_features_, count, in_features_,
-                     out_features_);
+      GemmAccumulate(kernel, input.data() + begin * in_features_,
+                     weights_.data(), out.data() + begin * out_features_,
+                     count, in_features_, out_features_);
     });
   }
   return out;

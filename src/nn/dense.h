@@ -19,11 +19,15 @@ class DenseLayer final : public Layer {
 
   LayerKind kind() const override { return LayerKind::kDense; }
   Shape OutputShape(const Shape& input) const override;
+  /// Always the exact GEMM tier: MILR's parameter solving feeds this entry
+  /// point (N,N) PRNG systems whose golden outputs must be reproducible
+  /// bit-for-bit no matter how the model is served.
   Tensor Forward(const Tensor& input) const override;
-  /// A batch (B,N) is exactly the rank-2 system Forward already runs as one
-  /// GEMM — the batched entry point just forwards to it.
+  /// A batch (B,N) is exactly the rank-2 system Forward runs as one GEMM;
+  /// the batched (serving) entry point additionally honors the configured
+  /// kernel tier (tolerance-equivalent when kFast).
   Tensor ForwardBatch(const Tensor& input) const override {
-    return Forward(input);
+    return ForwardWith(input, kernel_config());
   }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
@@ -38,6 +42,7 @@ class DenseLayer final : public Layer {
 
  private:
   void CheckInput(const Shape& input) const;
+  Tensor ForwardWith(const Tensor& input, KernelConfig kernel) const;
 
   std::size_t in_features_;
   std::size_t out_features_;

@@ -1,0 +1,33 @@
+// Kernel tier selection for the forward-path GEMMs.
+//
+// The repo carries two production GEMM tiers (see nn/gemm.h):
+//  * kExact — cache-blocked, register-tiled kernels that preserve the
+//    reference per-element accumulation order. Results are bit-identical to
+//    the naive oracle for ALL inputs (including non-finite), which is what
+//    MILR's detection signatures and the fault-injection experiments assume.
+//    This is the default everywhere.
+//  * kFast — packed-panel kernels with k-blocking and SIMD-friendly inner
+//    loops. The k dimension is split into panels, so floating-point
+//    accumulation order changes and results agree with kExact only to a
+//    tolerance. Opt-in for serving deployments that trade bit-exact
+//    reproducibility for single-core throughput.
+//
+// The choice rides the batched serving path only (Layer::ForwardBatch,
+// Model::PredictBatch, and therefore the engine): MILR's init / detect /
+// recover passes go through the per-sample Layer::Forward entry points,
+// which always use the exact tier, so detection semantics are identical no
+// matter how the model is served.
+#pragma once
+
+namespace milr::nn {
+
+enum class KernelConfig {
+  kExact,  // bit-exact tiled kernels (default, equivalence oracle)
+  kFast,   // packed k-blocked panels, tolerance-equivalent
+};
+
+inline const char* KernelConfigName(KernelConfig config) {
+  return config == KernelConfig::kFast ? "fast" : "exact";
+}
+
+}  // namespace milr::nn

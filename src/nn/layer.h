@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 
+#include "nn/kernel_config.h"
 #include "tensor/tensor.h"
 
 namespace milr::nn {
@@ -80,8 +81,17 @@ class Layer {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// GEMM tier used by the *batched* forward path (see nn/kernel_config.h).
+  /// Per-sample Forward always runs the exact tier, so MILR's init /
+  /// detect / recover passes are unaffected by this setting. Set through
+  /// Model::set_kernel_config; must not be flipped while a ForwardBatch is
+  /// in flight (the engine only sets it at construction).
+  KernelConfig kernel_config() const { return kernel_config_; }
+  void set_kernel_config(KernelConfig config) { kernel_config_ = config; }
+
  private:
   std::string name_;
+  KernelConfig kernel_config_ = KernelConfig::kExact;
 };
 
 /// ReLU activation: y = max(0, x). No parameters. MILR treats it as the

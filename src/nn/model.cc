@@ -10,9 +10,15 @@ Model& Model::Add(std::unique_ptr<Layer> layer) {
   const Shape out = layer->OutputShape(shapes_.back());
   layer->set_name(std::string(LayerKindName(layer->kind())) + "_" +
                   std::to_string(layers_.size()));
+  layer->set_kernel_config(kernel_config_);
   layers_.push_back(std::move(layer));
   shapes_.push_back(out);
   return *this;
+}
+
+void Model::set_kernel_config(KernelConfig config) {
+  kernel_config_ = config;
+  for (const auto& layer : layers_) layer->set_kernel_config(config);
 }
 
 Model& Model::AddConv(std::size_t filter_size, std::size_t out_channels,

@@ -42,6 +42,17 @@ class Model {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
+  /// GEMM tier for the batched (serving) forward path; propagated to every
+  /// layer, including layers added later. kExact (the default) keeps
+  /// PredictBatch bit-identical to per-sample Predict under the reference
+  /// kernels; kFast serves from the packed k-blocked kernels and is only
+  /// tolerance-equivalent. MILR init/detect/recover always run exact (they
+  /// use the per-sample Layer::Forward entry points), so protection
+  /// semantics do not depend on this setting. Not thread-safe against
+  /// in-flight predictions — configure before serving starts.
+  void set_kernel_config(KernelConfig config);
+  KernelConfig kernel_config() const { return kernel_config_; }
+
   const Shape& input_shape() const { return input_shape_; }
   /// Activation shape entering layer i (i == LayerCount() gives the output).
   const Shape& ShapeAt(std::size_t i) const { return shapes_.at(i); }
@@ -86,6 +97,7 @@ class Model {
   Shape input_shape_;
   std::vector<Shape> shapes_{input_shape_};  // shapes_[i] = input of layer i
   std::vector<std::unique_ptr<Layer>> layers_;
+  KernelConfig kernel_config_ = KernelConfig::kExact;
 };
 
 }  // namespace milr::nn

@@ -11,8 +11,13 @@ namespace milr::runtime {
 InferenceEngine::InferenceEngine(nn::Model& model, EngineConfig config)
     : model_(&model),
       config_(config),
+      effective_workers_(std::max<std::size_t>(1, config.worker_threads)),
       protector_(std::make_unique<core::MilrProtector>(model, config.milr)),
       queue_(config.queue_capacity) {
+  // After protector construction: MILR initialization records its golden
+  // data through the per-sample exact kernels regardless, but the serving
+  // tier must be in place before the first PredictBatch.
+  model_->set_kernel_config(config_.kernel);
   scrubber_ = std::make_unique<Scrubber>(*protector_, model_mutex_, metrics_,
                                          ScrubberConfig{config_.scrub_period});
 }
@@ -25,9 +30,8 @@ void InferenceEngine::Start() {
   }
   if (running_.exchange(true)) return;
   metrics_.MarkStarted();
-  const std::size_t workers = std::max<std::size_t>(1, config_.worker_threads);
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
+  workers_.reserve(effective_workers_);
+  for (std::size_t i = 0; i < effective_workers_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   if (config_.scrubber_enabled) scrubber_->Start();
@@ -92,9 +96,12 @@ void InferenceEngine::WorkerLoop() {
   // PredictBatch (stacked im2col, GEMM row blocks, pools) would spawn up to
   // workers × cores transient threads per layer; pin those calls serial.
   // With fewer workers than cores, intra-batch parallelism is the point —
-  // leave it enabled and let the batch GEMM fan out.
+  // leave it enabled and let the batch GEMM fan out. The comparison must
+  // use the *effective* pool size: Start() clamps worker_threads = 0 to one
+  // worker, and comparing the raw config value would leave that worker's
+  // nested fan-out unpinned even when one worker already covers the cores.
   std::optional<SerialRegionGuard> serial;
-  if (config_.worker_threads >= ParallelWorkerCount()) serial.emplace();
+  if (pins_nested_parallelism()) serial.emplace();
 
   const std::size_t max_batch = std::max<std::size_t>(1, config_.max_batch);
   std::vector<Request> batch;

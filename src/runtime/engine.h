@@ -63,6 +63,19 @@ struct EngineConfig {
   std::chrono::microseconds batch_linger{0};
   bool scrubber_enabled = true;
   std::chrono::milliseconds scrub_period{50};
+  /// GEMM tier for the serving path. kExact keeps served outputs
+  /// bit-identical to the reference kernels — the fault-injection
+  /// experiments and equivalence oracles assume it. kFast serves from the
+  /// packed k-blocked SIMD kernels (tolerance-equivalent outputs); MILR
+  /// detection/recovery are unaffected either way because the protector's
+  /// passes always run the exact per-sample kernels.
+  ///
+  /// The engine applies this to the caller-owned model at construction and
+  /// does NOT restore the previous value: the model keeps serving this
+  /// tier even after the engine stops. Callers that use the model directly
+  /// afterwards and need a different tier must call
+  /// Model::set_kernel_config themselves.
+  nn::KernelConfig kernel = nn::KernelConfig::kExact;
   /// Protection preset for the embedded MilrProtector. The extended preset
   /// matters here: its detection tolerance keeps a layer recovered online
   /// (float-rounding residue) from being re-flagged every cycle.
@@ -125,6 +138,19 @@ class InferenceEngine {
   core::MilrProtector& protector() { return *protector_; }
   const EngineConfig& config() const { return config_; }
 
+  /// Worker-pool size actually used: config worker_threads clamped to >= 1.
+  /// Resolved once (construction) and used both to spawn the pool and to
+  /// decide nested-parallelism pinning, so the two can never disagree.
+  std::size_t effective_worker_threads() const { return effective_workers_; }
+
+  /// True when each worker pins its nested ParallelFor serial because the
+  /// pool alone covers the cores (see WorkerLoop). Exposed for tests: the
+  /// old guard compared the raw config value, so worker_threads = 0 (one
+  /// effective worker) never engaged it.
+  bool pins_nested_parallelism() const {
+    return effective_workers_ >= ParallelWorkerCount();
+  }
+
  private:
   struct Request {
     Tensor input;
@@ -141,6 +167,7 @@ class InferenceEngine {
 
   nn::Model* model_;
   EngineConfig config_;
+  std::size_t effective_workers_;
   std::unique_ptr<core::MilrProtector> protector_;
   mutable std::shared_mutex model_mutex_;
   Metrics metrics_;

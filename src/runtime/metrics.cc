@@ -42,11 +42,13 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "layers_flagged", layers_flagged);
   AppendField(out, "recoveries", recoveries);
   AppendField(out, "layers_recovered", layers_recovered);
+  AppendField(out, "failed_recoveries", failed_recoveries);
   AppendField(out, "faults_injected", faults_injected);
   AppendField(out, "corrupted_weights", corrupted_weights);
   AppendField(out, "uptime_seconds", uptime_seconds);
   AppendField(out, "downtime_seconds", downtime_seconds);
   AppendField(out, "availability", availability);
+  AppendField(out, "recovery_downtime_seconds", recovery_downtime_seconds);
   AppendField(out, "mttr_seconds", mttr_seconds);
   AppendField(out, "latency_mean_ms", latency_mean_ms);
   AppendField(out, "latency_p50_ms", latency_p50_ms);
@@ -114,14 +116,23 @@ void Metrics::RecordDetection(std::size_t flagged_layers) {
   layers_flagged_.fetch_add(flagged_layers, std::memory_order_relaxed);
 }
 
-void Metrics::RecordRecovery(std::size_t layers_recovered,
-                             double outage_seconds) {
-  if (layers_recovered > 0) {
-    recoveries_.fetch_add(1, std::memory_order_relaxed);
-    layers_recovered_.fetch_add(layers_recovered, std::memory_order_relaxed);
-  }
+void Metrics::RecordDowntime(double outage_seconds) {
   downtime_nanos_.fetch_add(static_cast<std::uint64_t>(outage_seconds * 1e9),
                             std::memory_order_relaxed);
+}
+
+void Metrics::RecordRecovery(std::size_t layers_recovered,
+                             double outage_seconds) {
+  if (layers_recovered == 0) return;  // not a recovery; see RecordDowntime
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  layers_recovered_.fetch_add(layers_recovered, std::memory_order_relaxed);
+  recovery_downtime_nanos_.fetch_add(
+      static_cast<std::uint64_t>(outage_seconds * 1e9),
+      std::memory_order_relaxed);
+}
+
+void Metrics::RecordFailedRecovery() {
+  failed_recoveries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Metrics::RecordInjection(std::size_t corrupted_weights) {
@@ -138,6 +149,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.layers_flagged = layers_flagged_.load(std::memory_order_relaxed);
   snap.recoveries = recoveries_.load(std::memory_order_relaxed);
   snap.layers_recovered = layers_recovered_.load(std::memory_order_relaxed);
+  snap.failed_recoveries = failed_recoveries_.load(std::memory_order_relaxed);
   snap.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   snap.corrupted_weights = corrupted_weights_.load(std::memory_order_relaxed);
 
@@ -151,8 +163,12 @@ MetricsSnapshot Metrics::Snapshot() const {
           ? 1.0 - std::min(snap.downtime_seconds, snap.uptime_seconds) /
                       snap.uptime_seconds
           : 1.0;
+  snap.recovery_downtime_seconds =
+      static_cast<double>(
+          recovery_downtime_nanos_.load(std::memory_order_relaxed)) /
+      1e9;
   snap.mttr_seconds = snap.recoveries > 0
-                          ? snap.downtime_seconds /
+                          ? snap.recovery_downtime_seconds /
                                 static_cast<double>(snap.recoveries)
                           : 0.0;
   snap.throughput_rps =

@@ -25,15 +25,20 @@ struct MetricsSnapshot {
   std::uint64_t scrub_cycles = 0;
   std::uint64_t detections = 0;          // scrub cycles that flagged layers
   std::uint64_t layers_flagged = 0;
-  std::uint64_t recoveries = 0;          // online recovery events
+  std::uint64_t recoveries = 0;          // successful online recovery events
   std::uint64_t layers_recovered = 0;
+  std::uint64_t failed_recoveries = 0;   // quarantines whose repair failed
   std::uint64_t faults_injected = 0;     // fault-drive events against us
   std::uint64_t corrupted_weights = 0;   // weights hit by those events
 
   double uptime_seconds = 0.0;           // wall time since Start()
-  double downtime_seconds = 0.0;         // total quarantine (recovery) time
+  double downtime_seconds = 0.0;         // total quarantine time (all causes)
   double availability = 1.0;             // 1 - downtime / uptime
-  double mttr_seconds = 0.0;             // downtime / recoveries
+  /// Quarantine time attributable to *successful* recoveries only; the
+  /// MTTR numerator. Failed-recovery downtime still counts against
+  /// availability (downtime_seconds) but must not inflate MTTR.
+  double recovery_downtime_seconds = 0.0;
+  double mttr_seconds = 0.0;             // recovery_downtime / recoveries
 
   double latency_mean_ms = 0.0;          // over the recent-sample window
   double latency_p50_ms = 0.0;
@@ -77,9 +82,19 @@ class Metrics {
 
   void RecordScrubCycle();
   void RecordDetection(std::size_t flagged_layers);
-  /// Records a quarantine of `outage_seconds`; counts a recovery event when
-  /// at least one layer was actually repaired.
+  /// Records exclusive-quarantine wall time (the availability numerator).
+  /// Every quarantine — successful repair, failed repair, or a re-detect
+  /// that found nothing — goes through here exactly once.
+  void RecordDowntime(double outage_seconds);
+  /// Records one *successful* recovery event: `layers_recovered` > 0 layers
+  /// repaired during a quarantine of `outage_seconds`. The outage feeds the
+  /// MTTR numerator only — pair with RecordDowntime for the availability
+  /// charge (this method does not double-count it).
   void RecordRecovery(std::size_t layers_recovered, double outage_seconds);
+  /// Records a quarantine whose recovery failed (no layer repaired, or a
+  /// layer solve returned an error). Keeps failed repairs out of MTTR
+  /// while still making them visible in the snapshot/JSON.
+  void RecordFailedRecovery();
   void RecordInjection(std::size_t corrupted_weights);
 
   MetricsSnapshot Snapshot() const;
@@ -94,10 +109,12 @@ class Metrics {
   std::atomic<std::uint64_t> layers_flagged_{0};
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> layers_recovered_{0};
+  std::atomic<std::uint64_t> failed_recoveries_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
   std::atomic<std::uint64_t> corrupted_weights_{0};
   // Seconds stored as nanosecond integers so they can be atomics too.
   std::atomic<std::uint64_t> downtime_nanos_{0};
+  std::atomic<std::uint64_t> recovery_downtime_nanos_{0};
 
   std::atomic<std::uint64_t> batches_served_{0};
   std::atomic<std::uint64_t> batch_samples_{0};
@@ -110,6 +127,9 @@ class Metrics {
   std::vector<double> latency_ring_;     // most recent kLatencyWindow samples
   std::size_t latency_next_ = 0;
 
+  // Initialized at construction so a Snapshot() taken before MarkStarted()
+  // (engine built but not yet Start()ed) reports a sane, near-zero uptime
+  // instead of epoch-scale garbage; MarkStarted() then resets the epoch.
   Clock::time_point started_ = Clock::now();
 };
 

@@ -78,7 +78,22 @@ ScrubReport Scrubber::RunCycle() {
     }
   }
   report.outage_seconds = outage.ElapsedSeconds();
-  metrics_->RecordRecovery(report.recovered_layers, report.outage_seconds);
+  // Downtime and recovery accounting are split on purpose: every exclusive
+  // quarantine charges availability, but only quarantines that actually
+  // repaired layers feed the MTTR numerator/denominator. Lumping failed
+  // repairs' outage into RecordRecovery inflated MTTR (downtime in the
+  // numerator, no matching recovery in the denominator).
+  //
+  // Known approximation: a mixed cycle (some layers repaired, one solve
+  // failed) charges its full outage to MTTR because Recover() does not
+  // time individual layer solves — the failure is still visible in
+  // failed_recoveries. Per-layer outage attribution needs per-solve
+  // timing in MilrProtector first.
+  metrics_->RecordDowntime(report.outage_seconds);
+  if (report.recovered_layers > 0) {
+    metrics_->RecordRecovery(report.recovered_layers, report.outage_seconds);
+  }
+  if (!report.recovery_ok) metrics_->RecordFailedRecovery();
   return report;
 }
 

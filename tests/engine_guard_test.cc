@@ -1,0 +1,95 @@
+// Regression test for the InferenceEngine serial-region guard.
+//
+// The bug: WorkerLoop compared the *raw* config_.worker_threads against
+// ParallelWorkerCount() while Start() clamped 0 to one worker, so with the
+// 0 ("auto") setting the guard never engaged even when the one effective
+// worker already covered every core — each drain's nested ParallelFor
+// could then fan out workers × cores transient threads. The fix resolves
+// the effective worker count once and uses it for both the pool size and
+// the pinning decision.
+//
+// Like parallel_stress_test, this binary supplies its own main: the guard
+// decision depends on ParallelWorkerCount(), whose MILR_THREADS override
+// is latched on first use, so the env var must be set before any engine
+// (or ParallelFor) runs. Pinning it to 1 makes "one worker covers the
+// machine" true on any host, which is exactly the configuration where the
+// raw-value comparison (0 >= 1) got the wrong answer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "nn/init.h"
+#include "runtime/engine.h"
+#include "support/parallel.h"
+#include "support/prng.h"
+
+namespace milr::runtime {
+namespace {
+
+nn::Model GuardTestModel() {
+  nn::Model model(Shape{8, 8, 1});
+  model.AddConv(3, 4, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddFlatten();
+  model.AddDense(5).AddBias();
+  nn::InitHeUniform(model, 7);
+  return model;
+}
+
+TEST(EngineGuardTest, MilrThreadsPinnedToOne) {
+  ASSERT_EQ(ParallelWorkerCount(), 1u)
+      << "main() must latch MILR_THREADS=1 before anything parallel runs";
+}
+
+// worker_threads = 0 means one effective worker; with one core that
+// worker covers the machine, so nested ParallelFor must be pinned serial.
+// The pre-fix guard compared the raw 0 and never engaged.
+TEST(EngineGuardTest, ZeroWorkerConfigEngagesSerialGuard) {
+  nn::Model model = GuardTestModel();
+  EngineConfig config;
+  config.worker_threads = 0;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  EXPECT_EQ(engine.effective_worker_threads(), 1u);
+  EXPECT_TRUE(engine.pins_nested_parallelism())
+      << "guard compared the raw worker_threads instead of the effective "
+         "pool size";
+}
+
+// The explicit-count path must agree with the clamped path: any pool that
+// covers the cores pins, any smaller pool does not (not constructible
+// with ParallelWorkerCount() == 1, where every pool covers the machine).
+TEST(EngineGuardTest, ExplicitWorkerCountsStillPin) {
+  nn::Model model = GuardTestModel();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    EngineConfig config;
+    config.worker_threads = workers;
+    config.scrubber_enabled = false;
+    InferenceEngine engine(model, config);
+    EXPECT_EQ(engine.effective_worker_threads(), workers);
+    EXPECT_TRUE(engine.pins_nested_parallelism()) << workers;
+  }
+}
+
+// End-to-end: the clamped single-worker engine actually serves.
+TEST(EngineGuardTest, ZeroWorkerEngineServesRequests) {
+  nn::Model model = GuardTestModel();
+  EngineConfig config;
+  config.worker_threads = 0;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+  Prng prng(3);
+  const Tensor probe = RandomTensor(model.input_shape(), prng);
+  EXPECT_EQ(engine.Predict(probe).shape(), model.output_shape());
+  engine.Stop();
+  EXPECT_EQ(engine.Snapshot().requests_served, 1u);
+}
+
+}  // namespace
+}  // namespace milr::runtime
+
+int main(int argc, char** argv) {
+  setenv("MILR_THREADS", "1", /*overwrite=*/1);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -111,6 +111,117 @@ TEST(GemmTest, SparseAAgrees) {
   ExpectSame(c_tiled, c_ref, m, k, n);
 }
 
+// --------------------------------------------------------------- fast tier
+
+// The packed k-blocked kernels (KernelConfig::kFast) change summation
+// order (k split into kc panels, FMA contraction on x86), so equivalence
+// is tolerance-based, not bitwise. The truth value is the reference sum
+// computed in double, which bounds both kernels' rounding error.
+void ExpectFastClose(const std::vector<float>& a, const std::vector<float>& b,
+                     const std::vector<float>& c0, std::size_t m,
+                     std::size_t k, std::size_t n) {
+  auto c_fast = c0;
+  GemmAccumulateFast(a.data(), b.data(), c_fast.data(), m, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double truth = static_cast<double>(c0[i * n + j]);
+      for (std::size_t p = 0; p < k; ++p) {
+        truth += static_cast<double>(a[i * k + p]) *
+                 static_cast<double>(b[p * n + j]);
+      }
+      const double got = c_fast[i * n + j];
+      const double tol = 1e-4 * (1.0 + std::abs(truth));
+      ASSERT_NEAR(got, truth, tol)
+          << "m=" << m << " k=" << k << " n=" << n << " at (" << i << ","
+          << j << ")";
+    }
+  }
+}
+
+TEST(GemmTest, FastMatchesReferenceWithinTolerance) {
+  // Same odd/prime/tile-straddling sweep as the exact tests; every size
+  // combination crosses at least one of the kMr/kNr/kKc panel boundaries.
+  Prng prng(606);
+  for (const std::size_t m : kSizes) {
+    for (const std::size_t k : kSizes) {
+      for (const std::size_t n : kSizes) {
+        const auto a = RandomBuffer(m * k, prng);
+        const auto b = RandomBuffer(k * n, prng);
+        const auto c0 = RandomBuffer(m * n, prng);
+        ExpectFastClose(a, b, c0, m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, FastHandlesKBlockBoundariesAndPrimeShapes) {
+  // k values straddling the kKc = 256 block depth (255/256/257 plus a
+  // large prime) exercise the k-split accumulation, and m spanning the
+  // dispatch thresholds (kMr = 4, kDirectMaxRows = 128) exercises the
+  // row, direct-B, AND packed kernels — m = 129/257 are the only shapes
+  // that reach the packed panels on AVX2 hardware, so they must be here.
+  Prng prng(707);
+  const std::size_t ms[] = {1, 3, 15, 16, 17, 61, 128, 129, 257};
+  const std::size_t ks[] = {1, 127, 255, 256, 257, 521};
+  const std::size_t ns[] = {1, 10, 16, 17, 97};
+  for (const std::size_t m : ms) {
+    for (const std::size_t k : ks) {
+      for (const std::size_t n : ns) {
+        const auto a = RandomBuffer(m * k, prng);
+        const auto b = RandomBuffer(k * n, prng);
+        const auto c0 = RandomBuffer(m * n, prng);
+        ExpectFastClose(a, b, c0, m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, FastDispatchRoutesBothTiers) {
+  Prng prng(808);
+  const std::size_t m = 5, k = 19, n = 23;
+  const auto a = RandomBuffer(m * k, prng);
+  const auto b = RandomBuffer(k * n, prng);
+  const auto c0 = RandomBuffer(m * n, prng);
+  // kExact through the dispatcher is the tiled kernel: bit-identical.
+  auto c_exact = c0;
+  auto c_ref = c0;
+  GemmAccumulate(KernelConfig::kExact, a.data(), b.data(), c_exact.data(), m,
+                 k, n);
+  GemmAccumulateReference(a.data(), b.data(), c_ref.data(), m, k, n);
+  ExpectSame(c_exact, c_ref, m, k, n);
+  // kFast through the dispatcher is the packed tier: tolerance-equivalent.
+  ExpectFastClose(a, b, c0, m, k, n);
+}
+
+TEST(GemmTest, FastPropagatesNonFiniteWeights) {
+  // Panel padding is additive zeros, so a corrupted Inf/NaN weight must
+  // still poison every output element whose dot product touches it — and
+  // nothing else. m sweeps every dispatch tier: row-structured (3),
+  // direct-B (17), and the packed k-blocked panels (129, which also
+  // splits k across two kc blocks via k = 300).
+  Prng prng(909);
+  for (const std::size_t m : {std::size_t{3}, std::size_t{17},
+                              std::size_t{129}}) {
+    const std::size_t k = 300, n = 19;
+    const auto a = RandomBuffer(m * k, prng);
+    auto b = RandomBuffer(k * n, prng);
+    const std::size_t bad_col = 4;
+    b[270 * n + bad_col] = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> c(m * n, 0.0f);
+    GemmAccumulateFast(a.data(), b.data(), c.data(), m, k, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == bad_col) {
+          EXPECT_TRUE(std::isnan(c[i * n + j])) << m << ":" << i;
+        } else {
+          EXPECT_FALSE(std::isnan(c[i * n + j])) << m << ":" << i << ","
+                                                 << j;
+        }
+      }
+    }
+  }
+}
+
 TEST(GemmTest, NonFiniteWeightsPropagateIdentically) {
   // The fault injectors can flip a weight to Inf/NaN. A zero activation
   // times an Inf weight is NaN in IEEE; the tiled row-quad path, the tiled

@@ -4,6 +4,7 @@
 // specified as bit-identical, not merely close — see nn/layer.h).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -194,6 +195,96 @@ TEST(BatchEquivalenceTest, CifarLargeTopology) {
   Model model = apps::BuildCifarLargeNetwork();
   InitHeUniform(model, 9);
   ExpectModelBatchMatchesPredict(model, 2, 400);
+}
+
+// --------------------------------------------- streamed conv row blocks
+
+// When the stacked patch matrix exceeds the cache-derived budget, conv's
+// ForwardBatch streams the GEMM per row block instead of materializing
+// the (B·G², F²Z) operand. Row blocks don't change per-row accumulation
+// order, so the streamed result must stay bit-identical.
+TEST(BatchEquivalenceTest, StreamedConvMatchesMaterializedBitExact) {
+  Conv2DLayer conv(3, 2, 6, Padding::kSame);
+  RandomizeParams(conv, 11);
+  const Shape sample{12, 12, 2};
+  const auto samples = RandomSamples(sample, 4, 130);
+  const Tensor stacked = Stack(samples);
+
+  const Tensor materialized = conv.ForwardBatch(stacked);
+  SetPatchMatrixBudgetBytes(1);  // force streaming (floor keeps chunks sane)
+  const Tensor streamed = conv.ForwardBatch(stacked);
+  SetPatchMatrixBudgetBytes(0);  // restore the derived default
+  EXPECT_EQ(MaxAbsDiff(streamed, materialized), 0.0f);
+  // And both match the per-sample path.
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    EXPECT_EQ(MaxAbsDiff(Slice(streamed, s, conv.OutputShape(sample)),
+                         conv.Forward(samples[s])),
+              0.0f)
+        << s;
+  }
+}
+
+TEST(BatchEquivalenceTest, StreamedConvHonorsFastKernelWithinTolerance) {
+  Conv2DLayer conv(3, 3, 8, Padding::kValid);
+  RandomizeParams(conv, 12);
+  const Shape sample{11, 11, 3};
+  const auto samples = RandomSamples(sample, 3, 140);
+  const Tensor stacked = Stack(samples);
+  const Tensor exact = conv.ForwardBatch(stacked);
+
+  conv.set_kernel_config(KernelConfig::kFast);
+  SetPatchMatrixBudgetBytes(1);
+  const Tensor fast_streamed = conv.ForwardBatch(stacked);
+  SetPatchMatrixBudgetBytes(0);
+  conv.set_kernel_config(KernelConfig::kExact);
+  ASSERT_EQ(fast_streamed.shape(), exact.shape());
+  EXPECT_TRUE(AllClose(fast_streamed, exact, 1e-4f))
+      << "deviates by " << MaxAbsDiff(fast_streamed, exact);
+}
+
+// ------------------------------------------------- fast kernel config
+
+// kFast rides only the batched path: per-sample Forward stays bit-exact
+// (MILR's passes depend on it) while ForwardBatch/PredictBatch agree to a
+// tolerance.
+TEST(BatchEquivalenceTest, FastKernelConfigKeepsForwardExact) {
+  DenseLayer dense(53, 17);
+  RandomizeParams(dense, 13);
+  const auto samples = RandomSamples(Shape{53}, 1, 150);
+  const Tensor exact_out = dense.Forward(samples[0]);
+  dense.set_kernel_config(KernelConfig::kFast);
+  EXPECT_EQ(MaxAbsDiff(dense.Forward(samples[0]), exact_out), 0.0f)
+      << "Forward must ignore the serving kernel tier";
+}
+
+TEST(BatchEquivalenceTest, FastModelPredictBatchWithinTolerance) {
+  Model model = apps::BuildCifarSmallNetwork();
+  InitHeUniform(model, 21);
+  const auto samples = RandomSamples(model.input_shape(), 5, 160);
+  const Tensor exact_out = model.PredictBatch(Stack(samples));
+
+  model.set_kernel_config(KernelConfig::kFast);
+  EXPECT_EQ(model.kernel_config(), KernelConfig::kFast);
+  const Tensor fast_out = model.PredictBatch(Stack(samples));
+  model.set_kernel_config(KernelConfig::kExact);
+
+  ASSERT_EQ(fast_out.shape(), exact_out.shape());
+  float scale = 0.0f;
+  for (std::size_t i = 0; i < exact_out.size(); ++i) {
+    scale = std::max(scale, std::abs(exact_out[i]));
+  }
+  EXPECT_TRUE(AllClose(fast_out, exact_out, 1e-3f * (1.0f + scale)))
+      << "deviates by " << MaxAbsDiff(fast_out, exact_out);
+}
+
+TEST(BatchEquivalenceTest, KernelConfigPropagatesToLayersAddedLater) {
+  Model model(Shape{10, 10, 1});
+  model.AddConv(3, 4, Padding::kValid);
+  model.set_kernel_config(KernelConfig::kFast);
+  model.AddFlatten().AddDense(5);  // added after the config flip
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    EXPECT_EQ(model.layer(i).kernel_config(), KernelConfig::kFast) << i;
+  }
 }
 
 TEST(BatchEquivalenceTest, RejectsBatchlessInput) {

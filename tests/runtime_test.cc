@@ -382,6 +382,7 @@ TEST(MetricsTest, JsonSnapshotCarriesEveryCounter) {
   metrics.RecordRejected();
   metrics.RecordScrubCycle();
   metrics.RecordDetection(2);
+  metrics.RecordDowntime(0.25);
   metrics.RecordRecovery(2, 0.25);
   metrics.RecordInjection(64);
 
@@ -393,30 +394,258 @@ TEST(MetricsTest, JsonSnapshotCarriesEveryCounter) {
   EXPECT_EQ(snap.layers_flagged, 2u);
   EXPECT_EQ(snap.recoveries, 1u);
   EXPECT_EQ(snap.layers_recovered, 2u);
+  EXPECT_EQ(snap.failed_recoveries, 0u);
   EXPECT_EQ(snap.faults_injected, 1u);
   EXPECT_EQ(snap.corrupted_weights, 64u);
   EXPECT_NEAR(snap.downtime_seconds, 0.25, 1e-6);
+  EXPECT_NEAR(snap.recovery_downtime_seconds, 0.25, 1e-6);
   EXPECT_NEAR(snap.mttr_seconds, 0.25, 1e-6);
   EXPECT_DOUBLE_EQ(snap.latency_p50_ms, 1.5);
 
   const std::string json = snap.ToJson();
   for (const char* key :
        {"requests_served", "requests_rejected", "scrub_cycles", "detections",
-        "layers_flagged", "recoveries", "layers_recovered", "faults_injected",
-        "corrupted_weights", "uptime_seconds", "downtime_seconds",
-        "availability", "mttr_seconds", "latency_mean_ms", "latency_p50_ms",
-        "latency_p99_ms", "throughput_rps"}) {
+        "layers_flagged", "recoveries", "layers_recovered",
+        "failed_recoveries", "faults_injected", "corrupted_weights",
+        "uptime_seconds", "downtime_seconds", "availability",
+        "recovery_downtime_seconds", "mttr_seconds", "latency_mean_ms",
+        "latency_p50_ms", "latency_p99_ms", "throughput_rps"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
 }
 
-TEST(MetricsTest, RecoveryWithZeroLayersCountsDowntimeOnly) {
+TEST(MetricsTest, DowntimeWithoutRecoveryLeavesMttrZero) {
   Metrics metrics;
-  metrics.RecordRecovery(0, 0.1);  // quarantine that found nothing to fix
+  metrics.RecordDowntime(0.1);  // quarantine that found nothing to fix
   const auto snap = metrics.Snapshot();
   EXPECT_EQ(snap.recoveries, 0u);
   EXPECT_NEAR(snap.downtime_seconds, 0.1, 1e-6);
   EXPECT_DOUBLE_EQ(snap.mttr_seconds, 0.0);
+}
+
+// Contract pin (metrics issue #2): Snapshot() before MarkStarted() must
+// see a construction-stamped epoch — a default-constructed time_point
+// would turn uptime/availability/throughput into epoch-scale garbage.
+// (Verification showed the member initializer was already present; this
+// test pins the invariant so it cannot regress silently.)
+TEST(MetricsTest, SnapshotBeforeMarkStartedIsSane) {
+  Metrics metrics;
+  metrics.RecordLatency(2.0);
+  const auto snap = metrics.Snapshot();
+  EXPECT_GE(snap.uptime_seconds, 0.0);
+  EXPECT_LT(snap.uptime_seconds, 60.0) << "uptime epoch was never stamped";
+  EXPECT_GE(snap.availability, 0.0);
+  EXPECT_LE(snap.availability, 1.0);
+  EXPECT_GE(snap.throughput_rps, 0.0);
+  // 1 request over well under a minute cannot be below 1/60 rps.
+  EXPECT_GT(snap.throughput_rps, 1.0 / 60.0);
+}
+
+// Regression (metrics bug #3): a quarantine whose recovery failed used to
+// push its outage into the MTTR numerator while the denominator only
+// counted successes, inflating MTTR. Failed repairs must charge
+// availability and the failure counter — never MTTR.
+TEST(MetricsTest, FailedRecoveryDoesNotInflateMttr) {
+  Metrics metrics;
+  metrics.MarkStarted();
+  // One failed repair (0.5 s quarantine), then one success (0.2 s).
+  metrics.RecordDowntime(0.5);
+  metrics.RecordFailedRecovery();
+  metrics.RecordDowntime(0.2);
+  metrics.RecordRecovery(1, 0.2);
+
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.recoveries, 1u);
+  EXPECT_EQ(snap.failed_recoveries, 1u);
+  EXPECT_NEAR(snap.downtime_seconds, 0.7, 1e-6);       // availability: all
+  EXPECT_NEAR(snap.recovery_downtime_seconds, 0.2, 1e-6);
+  EXPECT_NEAR(snap.mttr_seconds, 0.2, 1e-6)
+      << "failed-recovery downtime leaked into MTTR";
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"failed_recoveries\": 1"), std::string::npos);
+}
+
+// RecordRecovery with zero layers is a misuse (the scrubber no longer
+// emits it); it must not fabricate a recovery event or MTTR mass.
+TEST(MetricsTest, ZeroLayerRecoveryIsIgnored) {
+  Metrics metrics;
+  metrics.RecordRecovery(0, 0.3);
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.recoveries, 0u);
+  EXPECT_DOUBLE_EQ(snap.recovery_downtime_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.downtime_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mttr_seconds, 0.0);
+}
+
+// ------------------------------------------------------- JSON strictness
+
+// Minimal strict parser for the snapshot's JSON subset: objects whose
+// values are numbers or nested objects. Returns the position after the
+// value, or npos on any syntax error.
+std::size_t ParseJsonValue(const std::string& s, std::size_t pos);
+
+std::size_t SkipSpace(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                            s[pos] == '\n' || s[pos] == '\r')) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::size_t ParseJsonString(const std::string& s, std::size_t pos) {
+  if (pos >= s.size() || s[pos] != '"') return std::string::npos;
+  ++pos;
+  while (pos < s.size() && s[pos] != '"') {
+    if (s[pos] == '\\' || static_cast<unsigned char>(s[pos]) < 0x20) {
+      return std::string::npos;  // snapshot keys never need escapes
+    }
+    ++pos;
+  }
+  return pos < s.size() ? pos + 1 : std::string::npos;
+}
+
+std::size_t ParseJsonNumber(const std::string& s, std::size_t pos) {
+  const std::size_t start = pos;
+  if (pos < s.size() && s[pos] == '-') ++pos;
+  std::size_t digits = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos, ++digits;
+  if (digits == 0) return std::string::npos;
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    digits = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') ++pos, ++digits;
+    if (digits == 0) return std::string::npos;
+  }
+  // Leading zeros like "00" are invalid JSON.
+  if (s[start] == '0' && pos > start + 1 && s[start + 1] != '.') {
+    return std::string::npos;
+  }
+  if (s[start] == '-' && s[start + 1] == '0' && pos > start + 2 &&
+      s[start + 2] != '.') {
+    return std::string::npos;
+  }
+  return pos;
+}
+
+std::size_t ParseJsonObject(const std::string& s, std::size_t pos) {
+  if (pos >= s.size() || s[pos] != '{') return std::string::npos;
+  pos = SkipSpace(s, pos + 1);
+  if (pos < s.size() && s[pos] == '}') return pos + 1;
+  for (;;) {
+    pos = ParseJsonString(s, SkipSpace(s, pos));
+    if (pos == std::string::npos) return std::string::npos;
+    pos = SkipSpace(s, pos);
+    if (pos >= s.size() || s[pos] != ':') return std::string::npos;
+    pos = ParseJsonValue(s, SkipSpace(s, pos + 1));
+    if (pos == std::string::npos) return std::string::npos;
+    pos = SkipSpace(s, pos);
+    if (pos >= s.size()) return std::string::npos;
+    if (s[pos] == '}') return pos + 1;
+    if (s[pos] != ',') return std::string::npos;
+    ++pos;
+  }
+}
+
+std::size_t ParseJsonValue(const std::string& s, std::size_t pos) {
+  if (pos >= s.size()) return std::string::npos;
+  if (s[pos] == '{') return ParseJsonObject(s, pos);
+  if (s[pos] == '"') return ParseJsonString(s, pos);
+  return ParseJsonNumber(s, pos);
+}
+
+void ExpectStrictJson(const std::string& json) {
+  const std::size_t end = ParseJsonObject(json, 0);
+  ASSERT_NE(end, std::string::npos) << "not parseable as JSON: " << json;
+  EXPECT_EQ(SkipSpace(json, end), json.size())
+      << "trailing garbage after JSON object: " << json;
+}
+
+TEST(MetricsTest, ToJsonIsStrictlyValidWhenEmpty) {
+  // Fresh registry: zero counters and — the tricky case — an empty batch
+  // histogram, which must render as "{}" and not break the object syntax.
+  Metrics metrics;
+  ExpectStrictJson(metrics.Snapshot().ToJson());
+}
+
+TEST(MetricsTest, ToJsonIsStrictlyValidWhenPopulated) {
+  Metrics metrics;
+  metrics.MarkStarted();
+  metrics.RecordLatency(1.25);
+  metrics.RecordLatency(3.75);
+  metrics.RecordBatch(2, 0.5);
+  metrics.RecordBatch(7, 1.5);
+  metrics.RecordRejected();
+  metrics.RecordScrubCycle();
+  metrics.RecordDetection(1);
+  metrics.RecordDowntime(0.125);
+  metrics.RecordRecovery(1, 0.125);
+  metrics.RecordFailedRecovery();
+  metrics.RecordInjection(9);
+  const auto snap = metrics.Snapshot();
+  ExpectStrictJson(snap.ToJson());
+  // Histogram carries only observed sizes, as quoted integer keys.
+  EXPECT_NE(snap.ToJson().find("\"2\": 1"), std::string::npos);
+  EXPECT_NE(snap.ToJson().find("\"7\": 1"), std::string::npos);
+}
+
+// ----------------------------------------------- worker-count resolution
+
+// Regression (engine bug #1): Start() clamps worker_threads = 0 to one
+// worker, but the serial-region guard compared the raw config value, so
+// the clamped pool and the guard could disagree. The effective count must
+// be resolved once and visible.
+TEST(InferenceEngineTest, WorkerThreadsZeroResolvesToOneWorker) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 1);
+  EngineConfig config;
+  config.worker_threads = 0;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  EXPECT_EQ(engine.effective_worker_threads(), 1u);
+  // The guard decision must key off the effective count: with one worker
+  // it pins exactly when one worker already covers the machine.
+  EXPECT_EQ(engine.pins_nested_parallelism(),
+            ParallelWorkerCount() <= 1);
+  engine.Start();
+  EXPECT_EQ(engine.Predict(probes[0]).shape(), model.output_shape());
+  engine.Stop();
+}
+
+// ------------------------------------------------------- kernel config
+
+TEST(InferenceEngineTest, FastKernelServesWithinToleranceOfExact) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 3);
+  std::vector<Tensor> exact_outputs;
+  for (const auto& probe : probes) {
+    exact_outputs.push_back(model.Predict(probe));
+  }
+
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  config.kernel = nn::KernelConfig::kFast;
+  InferenceEngine engine(model, config);
+  EXPECT_EQ(engine.model().kernel_config(), nn::KernelConfig::kFast);
+  engine.Start();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const Tensor served = engine.Predict(probes[i]);
+    EXPECT_TRUE(AllClose(served, exact_outputs[i], 1e-3f))
+        << "probe " << i << " deviates by "
+        << MaxAbsDiff(served, exact_outputs[i]);
+  }
+  engine.Stop();
+  // The engine reconfigured the model; restore the default for any later
+  // use of this model object.
+  model.set_kernel_config(nn::KernelConfig::kExact);
+}
+
+TEST(InferenceEngineTest, DefaultKernelConfigStaysExact) {
+  nn::Model model = TestModel();
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  EXPECT_EQ(engine.config().kernel, nn::KernelConfig::kExact);
+  EXPECT_EQ(engine.model().kernel_config(), nn::KernelConfig::kExact);
 }
 
 // -------------------------------------------------------------- FaultDrive
