@@ -29,7 +29,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -38,6 +40,7 @@
 #include "nn/kernel_config.h"
 #include "nn/model.h"
 #include "runtime/engine.h"
+#include "runtime/serving_host.h"
 #include "support/prng.h"
 
 namespace {
@@ -207,6 +210,160 @@ void RunModelSweep(milr::nn::Model& model,
   }
 }
 
+// ------------------------------------------------------------- co-hosting
+//
+// The multi-model question: serving N protected models from ONE machine,
+// is a shared ServingHost (one worker pool + DRR scheduler + one scrubber)
+// competitive with N independent engines splitting the same core budget?
+// The independent-engine baseline gets workers/N threads per engine (the
+// fair split); the host gets all `workers` threads in one pool. Both run
+// with scrubbing on. The printed shared/separate ratio is the acceptance
+// number (>= 0.9x means the scheduler + shared pool cost less than the
+// static core partition wastes), and the per-model min..max spread in the
+// shared phase shows DRR keeping equal-weight models near-equal.
+
+struct CoHostResult {
+  double aggregate_rps = 0.0;
+  double min_rps = 1e30;
+  double max_rps = 0.0;
+};
+
+void DriveClosedLoop(const std::function<std::future<milr::Tensor>(
+                         std::size_t, std::size_t)>& submit,
+                     std::size_t n_models, std::size_t window,
+                     double seconds) {
+  using namespace milr;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    load.emplace_back([&, m] {
+      std::deque<std::future<Tensor>> inflight;
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        inflight.push_back(submit(m, i++));
+        if (inflight.size() >= window) {
+          inflight.front().get();
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        inflight.front().get();
+        inflight.pop_front();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : load) t.join();
+}
+
+CoHostResult RunSeparateEngines(
+    std::vector<milr::nn::Model>& models,
+    const std::vector<std::vector<std::vector<float>>>& golden,
+    const std::vector<milr::Tensor>& probes, std::size_t workers,
+    std::size_t max_batch, double seconds) {
+  using namespace milr;
+  const std::size_t per_engine =
+      std::max<std::size_t>(1, workers / models.size());
+  std::vector<std::unique_ptr<runtime::InferenceEngine>> engines;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    models[m].RestoreParams(golden[m]);
+    runtime::EngineConfig config;
+    config.worker_threads = per_engine;
+    config.queue_capacity = 512;
+    config.max_batch = max_batch;
+    config.batch_linger = std::chrono::microseconds(200);
+    config.scrub_period = std::chrono::milliseconds(20);
+    engines.push_back(
+        std::make_unique<runtime::InferenceEngine>(models[m], config));
+    engines.back()->Start();
+  }
+  DriveClosedLoop(
+      [&](std::size_t m, std::size_t i) {
+        return engines[m]->Submit(probes[i % probes.size()]);
+      },
+      models.size(), 2 * max_batch, seconds);
+  CoHostResult result;
+  for (auto& engine : engines) {
+    const double rps = engine->Snapshot().throughput_rps;
+    result.aggregate_rps += rps;
+    result.min_rps = std::min(result.min_rps, rps);
+    result.max_rps = std::max(result.max_rps, rps);
+    engine->Stop();
+  }
+  return result;
+}
+
+CoHostResult RunSharedHost(
+    std::vector<milr::nn::Model>& models,
+    const std::vector<std::vector<std::vector<float>>>& golden,
+    const std::vector<milr::Tensor>& probes, std::size_t workers,
+    std::size_t max_batch, double seconds) {
+  using namespace milr;
+  runtime::ServingHostConfig host_config;
+  host_config.worker_threads = workers;
+  host_config.scrub_period = std::chrono::milliseconds(20);
+  runtime::ServingHost host(host_config);
+  std::vector<runtime::ServingHost::ModelHandle> handles;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    models[m].RestoreParams(golden[m]);
+    runtime::ModelRuntimeConfig config;
+    config.queue_capacity = 512;
+    config.max_batch = max_batch;
+    config.batch_linger = std::chrono::microseconds(200);
+    handles.push_back(host.AddModel(models[m], config));
+  }
+  host.Start();
+  DriveClosedLoop(
+      [&](std::size_t m, std::size_t i) {
+        return handles[m]->Submit(probes[i % probes.size()]);
+      },
+      models.size(), 2 * max_batch, seconds);
+  CoHostResult result;
+  for (auto& handle : handles) {
+    const double rps = handle->Snapshot().throughput_rps;
+    result.aggregate_rps += rps;
+    result.min_rps = std::min(result.min_rps, rps);
+    result.max_rps = std::max(result.max_rps, rps);
+  }
+  host.Stop();
+  return result;
+}
+
+void RunCoHostSweep(const char* net, const std::vector<std::size_t>& counts,
+                    std::size_t workers, std::size_t max_batch,
+                    double seconds) {
+  using namespace milr;
+  std::printf("co-hosting sweep (net=%s, %zu total workers, max_batch=%zu, "
+              "scrubber on): shared ServingHost vs N engines on the same "
+              "core budget\n",
+              net, workers, max_batch);
+  for (const std::size_t n : counts) {
+    std::vector<nn::Model> models;
+    std::vector<std::vector<std::vector<float>>> golden;
+    for (std::size_t m = 0; m < n; ++m) {
+      models.push_back(BuildServingModel(net));
+      golden.push_back(models.back().SnapshotParams());
+    }
+    Prng prng(5);
+    std::vector<Tensor> probes;
+    for (int i = 0; i < 16; ++i) {
+      probes.push_back(RandomTensor(models[0].input_shape(), prng));
+    }
+    const CoHostResult separate = RunSeparateEngines(
+        models, golden, probes, workers, max_batch, seconds);
+    const CoHostResult shared =
+        RunSharedHost(models, golden, probes, workers, max_batch, seconds);
+    std::printf("  N=%zu  separate %9.1f req/s  shared %9.1f req/s  "
+                "shared/separate=%.2fx  shared per-model %.1f..%.1f req/s\n",
+                n, separate.aggregate_rps, shared.aggregate_rps,
+                separate.aggregate_rps > 0.0
+                    ? shared.aggregate_rps / separate.aggregate_rps
+                    : 0.0,
+                shared.min_rps, shared.max_rps);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,5 +425,12 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+
+  // Multi-model co-hosting: the ServingHost acceptance sweep. Smoke runs
+  // N=2 only (the CI tripwire); the full run also checks that the shared
+  // pool keeps paying off as co-tenancy grows.
+  const std::vector<std::size_t> cohost_counts =
+      smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+  RunCoHostSweep(net, cohost_counts, workers, /*max_batch=*/8, seconds);
   return 0;
 }

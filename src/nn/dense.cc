@@ -37,14 +37,47 @@ Tensor DenseLayer::Forward(const Tensor& input) const {
   return ForwardWith(input, KernelConfig::kExact);
 }
 
+void DenseLayer::set_kernel_config(KernelConfig config) {
+  Layer::set_kernel_config(config);
+  // Pack once on entry to the fast tier instead of on the first serve, so
+  // the cost lands at configuration time (engine construction) and never
+  // inside a latency-sensitive request.
+  if (config == KernelConfig::kFast) PackedWeightsOrNull();
+}
+
+const float* DenseLayer::PackedWeightsOrNull() const {
+  if (!PackedBSupported()) return nullptr;
+  if (!packed_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    if (!packed_valid_.load(std::memory_order_relaxed)) {
+      packed_b_.resize(PackedBSize(in_features_, out_features_));
+      PackBPanels(weights_.data(), in_features_, out_features_,
+                  packed_b_.data());
+      packed_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return packed_b_.data();
+}
+
 Tensor DenseLayer::ForwardWith(const Tensor& input,
                                KernelConfig kernel) const {
   CheckInput(input.shape());
   const std::size_t rows = input.shape().rank() == 1 ? 1 : input.shape()[0];
   Tensor out(OutputShape(input.shape()));
+  // Fast tier: serve from the cached packed weight panels. One pack per
+  // weight mutation, shared by every row block and every concurrent reader
+  // — the per-call (and previously per-16-row-block) B repack is gone.
+  const float* bpack =
+      kernel == KernelConfig::kFast ? PackedWeightsOrNull() : nullptr;
   if (rows < 32) {
-    GemmAccumulate(kernel, input.data(), weights_.data(), out.data(), rows,
-                   in_features_, out_features_);
+    if (bpack != nullptr) {
+      GemmAccumulateFastPrepacked(input.data(), weights_.data(), bpack,
+                                  out.data(), rows, in_features_,
+                                  out_features_);
+    } else {
+      GemmAccumulate(kernel, input.data(), weights_.data(), out.data(), rows,
+                     in_features_, out_features_);
+    }
   } else {
     // Large batches appear on MILR's initialization path (golden outputs of
     // thousands of PRNG rows) — parallelize across row blocks. Nested calls
@@ -54,9 +87,16 @@ Tensor DenseLayer::ForwardWith(const Tensor& input,
     ParallelFor(0, blocks, [&](std::size_t b) {
       const std::size_t begin = b * kBlock;
       const std::size_t count = std::min(kBlock, rows - begin);
-      GemmAccumulate(kernel, input.data() + begin * in_features_,
-                     weights_.data(), out.data() + begin * out_features_,
-                     count, in_features_, out_features_);
+      if (bpack != nullptr) {
+        GemmAccumulateFastPrepacked(input.data() + begin * in_features_,
+                                    weights_.data(), bpack,
+                                    out.data() + begin * out_features_, count,
+                                    in_features_, out_features_);
+      } else {
+        GemmAccumulate(kernel, input.data() + begin * in_features_,
+                       weights_.data(), out.data() + begin * out_features_,
+                       count, in_features_, out_features_);
+      }
     });
   }
   return out;

@@ -5,7 +5,10 @@
 // PRNG rows (Section IV-A of the paper).
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "nn/layer.h"
 
@@ -31,22 +34,56 @@ class DenseLayer final : public Layer {
   }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
-  std::span<float> Params() override { return weights_.flat(); }
+  /// The mutable span is the fault domain: every writer (fault injectors,
+  /// MILR recovery, training, deserialization, Model::RestoreParams) goes
+  /// through it, so handing it out conservatively invalidates the packed
+  /// fast-tier weight panels — the next fast ForwardBatch re-packs once.
+  std::span<float> Params() override {
+    InvalidatePackedWeights();
+    return weights_.flat();
+  }
   std::span<const float> Params() const override { return weights_.flat(); }
+
+  /// Packs the weight panels once when entering the fast tier, so serving
+  /// never pays a per-row-block B repack (ROADMAP follow-on from PR 3).
+  void set_kernel_config(KernelConfig config) override;
 
   std::size_t in_features() const { return in_features_; }    // N
   std::size_t out_features() const { return out_features_; }  // P
 
   const Tensor& weights() const { return weights_; }
-  Tensor& weights() { return weights_; }
+  Tensor& weights() {
+    InvalidatePackedWeights();
+    return weights_;
+  }
+
+  /// True while the packed fast-tier panel cache matches weights_
+  /// (exposed for tests pinning the invalidation contract).
+  bool packed_weights_valid() const {
+    return packed_valid_.load(std::memory_order_acquire);
+  }
 
  private:
   void CheckInput(const Shape& input) const;
   Tensor ForwardWith(const Tensor& input, KernelConfig kernel) const;
+  /// Lazily (re)packs under pack_mutex_ and returns the panel cache, or
+  /// nullptr when this build has no micro-kernel that can consume it.
+  /// Safe under concurrent shared-lock readers: valid_ only transitions
+  /// false->true here (serialized by the mutex); true->false transitions
+  /// happen on the mutation paths, which the serving layer already runs
+  /// under the model's exclusive lock.
+  const float* PackedWeightsOrNull() const;
+  void InvalidatePackedWeights() {
+    packed_valid_.store(false, std::memory_order_release);
+  }
 
   std::size_t in_features_;
   std::size_t out_features_;
   Tensor weights_;  // (N,P)
+
+  mutable std::mutex pack_mutex_;
+  mutable std::vector<float> packed_b_;  // PackBPanels layout
+  mutable std::atomic<bool> packed_valid_{false};
 };
 
 }  // namespace milr::nn

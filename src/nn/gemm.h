@@ -558,6 +558,53 @@ __attribute__((target("avx2,fma"))) inline void RowKernelAvx2(
 #endif  // __x86_64__
 
 #ifdef MILR_GEMM_HAVE_VEC
+/// Shared inner sweep of the packed drivers (PackedGemm and PackedBGemm):
+/// for one k block (depth kc, source column pc) whose B panels are already
+/// packed at `bpanels` (n_panels consecutive (kKc,kNr) panels), packs each
+/// kMr-row A micro-panel into `apack` (kMr * kKc floats of scratch) and
+/// invokes `micro` once per (kMr,kNr) C tile, staging C through a
+/// zero-padded accumulator so the micro-kernel never branches on edges.
+/// Rows/columns past m/n are computed on padding but never stored back.
+template <typename MicroFn>
+inline void PackedSweepKBlock(const float* a, const float* bpanels, float* c,
+                              std::size_t m, std::size_t k, std::size_t n,
+                              std::size_t pc, std::size_t kc, float* apack,
+                              MicroFn micro) {
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  for (std::size_t i = 0; i < m; i += kMr) {
+    const std::size_t mb = std::min(kMr, m - i);
+
+    // Pack A rows i..i+mb into an interleaved (kc, kMr) micro-panel so
+    // the micro-kernel reads one contiguous quad per k step.
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* dst = apack + p * kMr;
+      for (std::size_t r = 0; r < mb; ++r) {
+        dst[r] = a[(i + r) * k + pc + p];
+      }
+      for (std::size_t r = mb; r < kMr; ++r) dst[r] = 0.0f;
+    }
+
+    for (std::size_t q = 0; q < n_panels; ++q) {
+      const std::size_t jc = q * kNr;
+      const std::size_t nb = std::min(kNr, n - jc);
+      float cacc[kMr * kNr];
+      for (std::size_t r = 0; r < mb; ++r) {
+        const float* crow = c + (i + r) * n + jc;
+        for (std::size_t j = 0; j < nb; ++j) cacc[r * kNr + j] = crow[j];
+        for (std::size_t j = nb; j < kNr; ++j) cacc[r * kNr + j] = 0.0f;
+      }
+      for (std::size_t r = mb; r < kMr; ++r) {
+        for (std::size_t j = 0; j < kNr; ++j) cacc[r * kNr + j] = 0.0f;
+      }
+      micro(apack, bpanels + q * kKc * kNr, kc, cacc);
+      for (std::size_t r = 0; r < mb; ++r) {
+        float* crow = c + (i + r) * n + jc;
+        for (std::size_t j = 0; j < nb; ++j) crow[j] = cacc[r * kNr + j];
+      }
+    }
+  }
+}
+
 /// Packed-panel k-blocked driver shared by the generic and AVX2 builds.
 /// MicroFn is invoked once per (kMr,kNr) C tile per k block, against the
 /// thread-local packed panels.
@@ -588,43 +635,141 @@ inline void PackedGemm(const float* a, const float* b, float* c,
       }
     }
 
-    for (std::size_t i = 0; i < m; i += kMr) {
-      const std::size_t mb = std::min(kMr, m - i);
-
-      // Pack A rows i..i+mb into an interleaved (kc, kMr) micro-panel so
-      // the micro-kernel reads one contiguous quad per k step. Rows past
-      // m are zero (computed but never stored back).
-      for (std::size_t p = 0; p < kc; ++p) {
-        float* dst = apack + p * kMr;
-        for (std::size_t r = 0; r < mb; ++r) {
-          dst[r] = a[(i + r) * k + pc + p];
-        }
-        for (std::size_t r = mb; r < kMr; ++r) dst[r] = 0.0f;
-      }
-
-      for (std::size_t q = 0; q < n_panels; ++q) {
-        const std::size_t jc = q * kNr;
-        const std::size_t nb = std::min(kNr, n - jc);
-        float cacc[kMr * kNr];
-        for (std::size_t r = 0; r < mb; ++r) {
-          const float* crow = c + (i + r) * n + jc;
-          for (std::size_t j = 0; j < nb; ++j) cacc[r * kNr + j] = crow[j];
-          for (std::size_t j = nb; j < kNr; ++j) cacc[r * kNr + j] = 0.0f;
-        }
-        for (std::size_t r = mb; r < kMr; ++r) {
-          for (std::size_t j = 0; j < kNr; ++j) cacc[r * kNr + j] = 0.0f;
-        }
-        micro(apack, bpack + q * kKc * kNr, kc, cacc);
-        for (std::size_t r = 0; r < mb; ++r) {
-          float* crow = c + (i + r) * n + jc;
-          for (std::size_t j = 0; j < nb; ++j) crow[j] = cacc[r * kNr + j];
-        }
-      }
-    }
+    PackedSweepKBlock(a, bpack, c, m, k, n, pc, kc, apack, micro);
   }
 }
 #endif  // MILR_GEMM_HAVE_VEC
 }  // namespace gemm_detail
+
+// ------------------------------------------------- pre-packed B (weights)
+//
+// The packed tier above repacks B on every call — right for one-shot GEMMs,
+// wasted work when B is a layer's weight matrix that survives thousands of
+// forward passes. These entry points split the pack from the multiply so a
+// layer can pack its weights once (at Model::set_kernel_config) and serve
+// every micro-batch from the cached panels; the cache owner is responsible
+// for re-packing whenever the weights change (recovery, fault injection,
+// training, deserialization).
+//
+// Layout contract (PackBPanels -> GemmAccumulateFastPrepacked): for k-block
+// t (depth min(kKc, k - t*kKc)) and column panel q (kNr columns), the panel
+// starts at (t * ceil(n/kNr) + q) * kKc * kNr floats, rows contiguous and
+// zero-padded to the full (kKc, kNr) stride so offsets never depend on the
+// tail sizes. Padding is additive zeros — the no-short-circuit / NaN
+// poisoning property of the other tiers is preserved.
+
+/// True when this build has a vector micro-kernel that can consume cached
+/// packed panels; when false, callers should skip the cache entirely (the
+/// fast tier then falls back to the exact tiled kernel anyway).
+inline constexpr bool PackedBSupported() {
+#ifdef MILR_GEMM_HAVE_VEC
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Scratch floats PackBPanels needs for a row-major (k, n) B.
+inline std::size_t PackedBSize(std::size_t k, std::size_t n) {
+  using gemm_detail::kKc;
+  using gemm_detail::kNr;
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  const std::size_t k_blocks = (k + kKc - 1) / kKc;
+  return k_blocks * n_panels * kKc * kNr;
+}
+
+/// Packs row-major B(k,n) into the panel layout documented above. `out`
+/// must hold PackedBSize(k, n) floats.
+inline void PackBPanels(const float* b, std::size_t k, std::size_t n,
+                        float* out) {
+  using gemm_detail::kKc;
+  using gemm_detail::kNr;
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  std::size_t t = 0;
+  for (std::size_t pc = 0; pc < k; pc += kKc, ++t) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    for (std::size_t q = 0; q < n_panels; ++q) {
+      const std::size_t jc = q * kNr;
+      const std::size_t nb = std::min(kNr, n - jc);
+      float* panel = out + (t * n_panels + q) * kKc * kNr;
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* brow = b + (pc + p) * n + jc;
+        float* dst = panel + p * kNr;
+        for (std::size_t j = 0; j < nb; ++j) dst[j] = brow[j];
+        for (std::size_t j = nb; j < kNr; ++j) dst[j] = 0.0f;
+      }
+      for (std::size_t p = kc; p < kKc; ++p) {
+        float* dst = panel + p * kNr;
+        for (std::size_t j = 0; j < kNr; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+#ifdef MILR_GEMM_HAVE_VEC
+namespace gemm_detail {
+/// PackedGemm minus the B pack: sweeps pre-packed panels (PackBPanels
+/// layout), packing only the (cheap, activation-sized) A micro-panels per
+/// call via the shared PackedSweepKBlock.
+template <typename MicroFn>
+inline void PackedBGemm(const float* a, const float* bpack, float* c,
+                        std::size_t m, std::size_t k, std::size_t n,
+                        MicroFn micro) {
+  thread_local std::vector<float> a_scratch;
+  float* apack = PackScratch(a_scratch, kMr * kKc);
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  std::size_t t = 0;
+  for (std::size_t pc = 0; pc < k; pc += kKc, ++t) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    PackedSweepKBlock(a, bpack + t * n_panels * kKc * kNr, c, m, k, n, pc,
+                      kc, apack, micro);
+  }
+}
+}  // namespace gemm_detail
+#endif  // MILR_GEMM_HAVE_VEC
+
+/// Fast-tier C(m,n) += A(m,k)·B(k,n) where `bpack` holds PackBPanels(b).
+/// `b` (the raw matrix) is still required: operands too thin for a packed
+/// register tile route to the row-structured kernel, which reads B in its
+/// natural layout. Same tolerance contract as GemmAccumulateFast.
+inline void GemmAccumulateFastPrepacked(const float* a, const float* b,
+                                        const float* bpack, float* c,
+                                        std::size_t m, std::size_t k,
+                                        std::size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+#ifdef MILR_GEMM_HAVE_AVX2
+  if (gemm_detail::HasAvx2Fma()) {
+    if (m < gemm_detail::kMr || n < gemm_detail::kNr) {
+      // A packed tile would spend up to kMr/m of its FLOPs on padding rows;
+      // the row kernel does exactly m rows of work from the raw B.
+      gemm_detail::RowKernelAvx2(a, b, c, m, k, n);
+    } else {
+      gemm_detail::PackedBGemm(a, bpack, c, m, k, n,
+                               [](const float* ap, const float* bp,
+                                  std::size_t kc, float* cacc) {
+                                 gemm_detail::MicroKernelAvx2(ap, bp, kc,
+                                                              cacc);
+                               });
+    }
+    return;
+  }
+#endif
+#ifdef MILR_GEMM_HAVE_VEC
+  if (m >= gemm_detail::kMr) {
+    // With the B repack already paid, the packed path's break-even drops
+    // from kPackedMinRows to one register tile of rows.
+    gemm_detail::PackedBGemm(a, bpack, c, m, k, n,
+                             [](const float* ap, const float* bp,
+                                std::size_t kc, float* cacc) {
+                               gemm_detail::MicroKernelGeneric(ap, bp, kc,
+                                                               cacc);
+                             });
+    return;
+  }
+#endif
+  (void)bpack;
+  GemmAccumulate(a, b, c, m, k, n);
+}
 
 /// C(m,n) += A(m,k) · B(k,n), all row-major contiguous — the fast tier
 /// (see the section comment above for the dispatch rules).

@@ -85,9 +85,13 @@ class Layer {
   /// Per-sample Forward always runs the exact tier, so MILR's init /
   /// detect / recover passes are unaffected by this setting. Set through
   /// Model::set_kernel_config; must not be flipped while a ForwardBatch is
-  /// in flight (the engine only sets it at construction).
+  /// in flight (the engine only sets it at construction). Virtual so layers
+  /// with tier-specific caches (DenseLayer packs its weight panels for the
+  /// fast tier) can warm them exactly once here instead of per forward.
   KernelConfig kernel_config() const { return kernel_config_; }
-  void set_kernel_config(KernelConfig config) { kernel_config_ = config; }
+  virtual void set_kernel_config(KernelConfig config) {
+    kernel_config_ = config;
+  }
 
  private:
   std::string name_;

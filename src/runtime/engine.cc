@@ -1,206 +1,30 @@
 #include "runtime/engine.h"
 
-#include <algorithm>
-#include <stdexcept>
-#include <utility>
-
-#include "support/parallel.h"
-
 namespace milr::runtime {
 
+namespace {
+ServingHostConfig HostConfigFrom(const EngineConfig& config) {
+  ServingHostConfig host;
+  host.worker_threads = config.worker_threads;
+  host.scrubber_enabled = config.scrubber_enabled;
+  host.scrub_period = config.scrub_period;
+  return host;
+}
+
+ModelRuntimeConfig RuntimeConfigFrom(const EngineConfig& config) {
+  ModelRuntimeConfig runtime;
+  runtime.queue_capacity = config.queue_capacity;
+  runtime.max_batch = config.max_batch;
+  runtime.batch_linger = config.batch_linger;
+  runtime.kernel = config.kernel;
+  runtime.milr = config.milr;
+  return runtime;
+}
+}  // namespace
+
 InferenceEngine::InferenceEngine(nn::Model& model, EngineConfig config)
-    : model_(&model),
-      config_(config),
-      effective_workers_(std::max<std::size_t>(1, config.worker_threads)),
-      protector_(std::make_unique<core::MilrProtector>(model, config.milr)),
-      queue_(config.queue_capacity) {
-  // After protector construction: MILR initialization records its golden
-  // data through the per-sample exact kernels regardless, but the serving
-  // tier must be in place before the first PredictBatch.
-  model_->set_kernel_config(config_.kernel);
-  scrubber_ = std::make_unique<Scrubber>(*protector_, model_mutex_, metrics_,
-                                         ScrubberConfig{config_.scrub_period});
-}
-
-InferenceEngine::~InferenceEngine() { Stop(); }
-
-void InferenceEngine::Start() {
-  if (stopped_.load()) {
-    throw std::logic_error("InferenceEngine cannot be restarted after Stop");
-  }
-  if (running_.exchange(true)) return;
-  metrics_.MarkStarted();
-  workers_.reserve(effective_workers_);
-  for (std::size_t i = 0; i < effective_workers_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-  if (config_.scrubber_enabled) scrubber_->Start();
-}
-
-void InferenceEngine::Stop() {
-  if (stopped_.exchange(true)) return;
-  // Scrubber first (see engine.h): no scrub cycle may start once the drain
-  // begins, so workers exit without racing a late quarantine for the lock.
-  scrubber_->Stop();
-  queue_.Close();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
-  running_.store(false);
-}
-
-std::future<Tensor> InferenceEngine::Submit(Tensor input) {
-  Request request;
-  request.input = std::move(input);
-  std::future<Tensor> future = request.result.get_future();
-  if (!queue_.Push(std::move(request))) {
-    throw std::runtime_error("InferenceEngine: submit after Stop");
-  }
-  return future;
-}
-
-std::optional<std::future<Tensor>> InferenceEngine::TrySubmit(Tensor input) {
-  Request request;
-  request.input = std::move(input);
-  std::future<Tensor> future = request.result.get_future();
-  if (!queue_.TryPush(request)) {
-    metrics_.RecordRejected();
-    return std::nullopt;
-  }
-  return future;
-}
-
-Tensor InferenceEngine::Predict(const Tensor& input) {
-  return Submit(Tensor(input)).get();
-}
-
-ScrubReport InferenceEngine::ScrubNow() { return scrubber_->RunCycle(); }
-
-memory::InjectionReport InferenceEngine::InjectFault(
-    const std::function<memory::InjectionReport(nn::Model&)>& attack) {
-  std::unique_lock<std::shared_mutex> lock(model_mutex_);
-  memory::InjectionReport report = attack(*model_);
-  metrics_.RecordInjection(report.corrupted_weights);
-  return report;
-}
-
-void InferenceEngine::WithModelExclusive(
-    const std::function<void(nn::Model&)>& fn) {
-  std::unique_lock<std::shared_mutex> lock(model_mutex_);
-  fn(*model_);
-}
-
-void InferenceEngine::WorkerLoop() {
-  // When the worker pool alone covers the cores, nested ParallelFor inside
-  // PredictBatch (stacked im2col, GEMM row blocks, pools) would spawn up to
-  // workers × cores transient threads per layer; pin those calls serial.
-  // With fewer workers than cores, intra-batch parallelism is the point —
-  // leave it enabled and let the batch GEMM fan out. The comparison must
-  // use the *effective* pool size: Start() clamps worker_threads = 0 to one
-  // worker, and comparing the raw config value would leave that worker's
-  // nested fan-out unpinned even when one worker already covers the cores.
-  std::optional<SerialRegionGuard> serial;
-  if (pins_nested_parallelism()) serial.emplace();
-
-  const std::size_t max_batch = std::max<std::size_t>(1, config_.max_batch);
-  std::vector<Request> batch;
-  batch.reserve(max_batch);
-  for (;;) {
-    batch.clear();
-    if (queue_.PopBatch(batch, max_batch, config_.batch_linger) == 0) {
-      return;  // queue closed and drained
-    }
-    ServeBatch(batch);
-  }
-}
-
-void InferenceEngine::ServeSingle(Request& request) {
-  try {
-    Tensor output;
-    double service_ms = 0.0;
-    {
-      std::shared_lock<std::shared_mutex> lock(model_mutex_);
-      // Start after the lock: service time is model time, not a quarantine
-      // stall spent waiting out the scrubber's exclusive section.
-      Stopwatch service;
-      output = model_->Predict(request.input);
-      service_ms = service.ElapsedMillis();
-    }
-    metrics_.RecordBatch(1, service_ms);
-    // Record before fulfilling the promise: a client observing its
-    // result must also observe the request in the served counter.
-    metrics_.RecordLatency(request.queued.ElapsedMillis());
-    request.result.set_value(std::move(output));
-  } catch (...) {
-    request.result.set_exception(std::current_exception());
-  }
-}
-
-void InferenceEngine::ServeBatch(std::vector<Request>& batch) {
-  // Only requests shaped like the model input can share a batch tensor;
-  // anything else takes the single-sample path, where the layer shape check
-  // throws into that request's own promise.
-  std::vector<Request*> conforming;
-  conforming.reserve(batch.size());
-  for (auto& request : batch) {
-    if (request.input.shape() == model_->input_shape()) {
-      conforming.push_back(&request);
-    } else {
-      ServeSingle(request);
-    }
-  }
-  if (conforming.empty()) return;
-  if (conforming.size() == 1) {
-    ServeSingle(*conforming.front());
-    return;
-  }
-
-  // Pack in place rather than through Model::PredictBatch(vector): the
-  // requests already own their tensors, so this is the only copy.
-  const std::size_t b = conforming.size();
-  const std::size_t in_stride = model_->input_shape().NumElements();
-  Tensor packed(WithBatchAxis(b, model_->input_shape()));
-  for (std::size_t s = 0; s < b; ++s) {
-    std::copy_n(conforming[s]->input.data(), in_stride,
-                packed.data() + s * in_stride);
-  }
-
-  std::size_t fulfilled = 0;
-  try {
-    Tensor outputs;
-    double service_ms = 0.0;
-    {
-      std::shared_lock<std::shared_mutex> lock(model_mutex_);
-      // Start after the lock (see ServeSingle): lock-wait is downtime
-      // accounting, not batch service cost.
-      Stopwatch service;
-      outputs = model_->PredictBatch(std::move(packed));
-      service_ms = service.ElapsedMillis();
-    }
-    metrics_.RecordBatch(b, service_ms);
-    const std::size_t out_stride = model_->output_shape().NumElements();
-    for (std::size_t s = 0; s < b; ++s) {
-      Tensor one(model_->output_shape());
-      std::copy_n(outputs.data() + s * out_stride, out_stride, one.data());
-      metrics_.RecordLatency(conforming[s]->queued.ElapsedMillis());
-      conforming[s]->result.set_value(std::move(one));
-      ++fulfilled;
-    }
-  } catch (...) {
-    // A failure with conforming shapes is a model-side (or allocation)
-    // error; every rider not yet fulfilled gets the same exception. The
-    // already-fulfilled prefix must be skipped — set_exception on a
-    // satisfied promise throws out of the handler and would terminate.
-    for (std::size_t s = fulfilled; s < b; ++s) {
-      try {
-        conforming[s]->result.set_exception(std::current_exception());
-      } catch (...) {
-        // Promise raced to a satisfied state; its client already has a
-        // result, nothing more to deliver.
-      }
-    }
-  }
+    : config_(config), host_(HostConfigFrom(config)) {
+  runtime_ = host_.AddModel(model, RuntimeConfigFrom(config), "engine");
 }
 
 }  // namespace milr::runtime

@@ -1,9 +1,11 @@
 // InferenceEngine: MILR as an always-on, self-healing serving layer.
 //
-// The batch experiments (src/apps) answer "does recovery work?"; the engine
-// answers the production question the ROADMAP asks: what throughput and
-// availability does a *live* protected service sustain under continuous
-// fault arrival? It owns four moving parts:
+// Since the multi-model refactor this is a thin single-model facade over
+// ServingHost: one ModelRuntime (model + shared_mutex + MilrProtector +
+// bounded queue + Metrics) on a private WorkerPool, with the host's
+// background Scrubber doing online detect/quarantine/recover. The moving
+// parts and the locking discipline are documented in model_runtime.h,
+// worker_pool.h and serving_host.h; the shape is unchanged from PR 1:
 //
 //   clients ──Submit──▶ BoundedQueue ──▶ worker pool ──PredictBatch──▶ futures
 //                          (micro-batch: drain ≤ max_batch) │ shared lock
@@ -11,38 +13,37 @@
 //                    recovery on a flagged layer)      │ exclusive lock
 //                    FaultDrive / InjectFault (attacks)│ exclusive lock
 //
-// The reader/writer discipline is the whole design: inference and the cheap
-// detection phase share the model; recovery and fault injection quarantine
-// it. Downtime is therefore *exactly* the time spent holding the exclusive
-// lock for repair — the quantity eq. 6 models and Metrics measures.
+// Inference and the cheap detection phase share the model; recovery and
+// fault injection quarantine it. Downtime is therefore *exactly* the time
+// spent holding the exclusive lock for repair — the quantity eq. 6 models
+// and Metrics measures.
+//
+// Lifecycle: construct -> [Submit/TrySubmit]* -> Start -> serve -> Stop,
+// repeatable. Requests may be queued before Start() and are served once it
+// runs. Stop() closes admission (Submit throws std::runtime_error,
+// TrySubmit returns nullopt), drains every admitted request, and joins the
+// service threads; it is idempotent and also runs in the destructor.
+// Start() after Stop() is a clean restart: admission reopens and the same
+// worker/scrubber configuration respawns. Metrics counters accumulate
+// across restarts, but the uptime epoch restamps at every Start(), so
+// rate-derived quantities (throughput, availability) reset.
+// Co-hosting several models on one shared pool is ServingHost's job —
+// new code should prefer it; this facade keeps the one-model API stable.
 #pragma once
 
-#include <atomic>
+#include <chrono>
 #include <functional>
 #include <future>
-#include <memory>
 #include <optional>
-#include <shared_mutex>
-#include <thread>
-#include <vector>
 
 #include "memory/fault_injector.h"
 #include "milr/config.h"
 #include "milr/protector.h"
 #include "nn/model.h"
-#include "runtime/metrics.h"
-#include "runtime/request_queue.h"
-#include "runtime/scrubber.h"
-#include "support/parallel.h"
-#include "support/stopwatch.h"
+#include "runtime/serving_host.h"
 #include "tensor/tensor.h"
 
 namespace milr::runtime {
-
-/// Default worker-pool size: one thread per hardware core with a floor of
-/// 1, via ParallelWorkerCount() so the MILR_THREADS env cap governs the
-/// engine pool and the layers' internal ParallelFor consistently.
-inline std::size_t DefaultWorkerThreads() { return ParallelWorkerCount(); }
 
 struct EngineConfig {
   /// Size of the worker pool. When workers >= hardware cores the engine
@@ -88,94 +89,79 @@ class InferenceEngine {
   /// protection data) and must outlive the engine. The engine does not own
   /// the model, mirroring MilrProtector.
   explicit InferenceEngine(nn::Model& model, EngineConfig config = {});
-  ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Spawns the worker pool (and the scrubber when enabled). Requests may
-  /// be queued before Start(), but nothing is served until it runs.
-  void Start();
+  /// be queued before Start(), but nothing is served until it runs. Also
+  /// restarts a stopped engine (see the lifecycle note above).
+  void Start() { host_.Start(); }
 
   /// Stops admission, drains every queued request, and joins all service
-  /// threads. Idempotent; also run by the destructor. Shutdown order is
-  /// load-bearing:
-  ///   1. the scrubber stops first, so no scrub cycle can take the model
-  ///      lock between queue close and worker exit (a late quarantine would
-  ///      stall the drain and could recover against a half-shut engine);
-  ///   2. the queue closes, which stops admission but lets consumers drain
-  ///      every admitted request;
-  ///   3. workers join once the queue is drained.
-  void Stop();
+  /// threads. Idempotent; also run by the destructor. See ServingHost::Stop
+  /// for the load-bearing shutdown order (scrubber -> queue -> workers).
+  void Stop() { host_.Stop(); }
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return host_.running(); }
 
   /// Enqueues a request; blocks for backpressure while the queue is full.
   /// Throws std::runtime_error if the engine has been stopped.
-  std::future<Tensor> Submit(Tensor input);
+  std::future<Tensor> Submit(Tensor input) {
+    return runtime_->Submit(std::move(input));
+  }
 
   /// Load-shedding admission: nullopt (and a rejection metric) when full.
-  std::optional<std::future<Tensor>> TrySubmit(Tensor input);
+  std::optional<std::future<Tensor>> TrySubmit(Tensor input) {
+    return runtime_->TrySubmit(std::move(input));
+  }
 
   /// Synchronous convenience: Submit and wait.
-  Tensor Predict(const Tensor& input);
+  Tensor Predict(const Tensor& input) { return runtime_->Predict(input); }
 
-  /// Runs one synchronous scrub cycle (see Scrubber::RunCycle).
-  ScrubReport ScrubNow();
+  /// Runs one synchronous scrub cycle (see ModelRuntime::ScrubCycle).
+  ScrubReport ScrubNow() { return runtime_->ScrubCycle(); }
 
   /// Fault-drive hook: runs `attack` against the live parameter memory
   /// under quarantine (data-race-free with the worker pool) and records it.
   memory::InjectionReport InjectFault(
-      const std::function<memory::InjectionReport(nn::Model&)>& attack);
+      const std::function<memory::InjectionReport(nn::Model&)>& attack) {
+    return runtime_->InjectFault(attack);
+  }
 
   /// Maintenance hook: exclusive access to the model without counting an
   /// injection (golden-restore between benchmark phases, etc.).
-  void WithModelExclusive(const std::function<void(nn::Model&)>& fn);
+  void WithModelExclusive(const std::function<void(nn::Model&)>& fn) {
+    runtime_->WithModelExclusive(fn);
+  }
 
-  MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
-  Metrics& metrics() { return metrics_; }
-  const nn::Model& model() const { return *model_; }
-  core::MilrProtector& protector() { return *protector_; }
+  MetricsSnapshot Snapshot() const { return runtime_->Snapshot(); }
+  Metrics& metrics() { return runtime_->metrics(); }
+  const nn::Model& model() const { return runtime_->model(); }
+  core::MilrProtector& protector() { return runtime_->protector(); }
   const EngineConfig& config() const { return config_; }
 
   /// Worker-pool size actually used: config worker_threads clamped to >= 1.
   /// Resolved once (construction) and used both to spawn the pool and to
   /// decide nested-parallelism pinning, so the two can never disagree.
-  std::size_t effective_worker_threads() const { return effective_workers_; }
-
-  /// True when each worker pins its nested ParallelFor serial because the
-  /// pool alone covers the cores (see WorkerLoop). Exposed for tests: the
-  /// old guard compared the raw config value, so worker_threads = 0 (one
-  /// effective worker) never engaged it.
-  bool pins_nested_parallelism() const {
-    return effective_workers_ >= ParallelWorkerCount();
+  std::size_t effective_worker_threads() const {
+    return host_.worker_threads();
   }
 
+  /// True when each worker pins its nested ParallelFor serial because the
+  /// pool alone covers the cores (see WorkerPool::WorkerLoop).
+  bool pins_nested_parallelism() const {
+    return host_.pins_nested_parallelism();
+  }
+
+  /// The underlying single-model runtime — the ServingHost handle — for
+  /// callers migrating to the multi-model API.
+  ServingHost::ModelHandle runtime() { return runtime_; }
+
  private:
-  struct Request {
-    Tensor input;
-    std::promise<Tensor> result;
-    Stopwatch queued;  // stamps admission; latency = queue wait + service
-  };
-
-  void WorkerLoop();
-  /// Serves one drained micro-batch: conforming requests go through a
-  /// single PredictBatch; misfits fall back to the single-sample path so a
-  /// bad input only fails its own promise.
-  void ServeBatch(std::vector<Request>& batch);
-  void ServeSingle(Request& request);
-
-  nn::Model* model_;
   EngineConfig config_;
-  std::size_t effective_workers_;
-  std::unique_ptr<core::MilrProtector> protector_;
-  mutable std::shared_mutex model_mutex_;
-  Metrics metrics_;
-  BoundedQueue<Request> queue_;
-  std::vector<std::thread> workers_;
-  std::unique_ptr<Scrubber> scrubber_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopped_{false};
+  ServingHost host_;
+  ServingHost::ModelHandle runtime_;
 };
 
 }  // namespace milr::runtime

@@ -53,6 +53,9 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "latency_mean_ms", latency_mean_ms);
   AppendField(out, "latency_p50_ms", latency_p50_ms);
   AppendField(out, "latency_p99_ms", latency_p99_ms);
+  AppendField(out, "queue_wait_mean_ms", queue_wait_mean_ms);
+  AppendField(out, "queue_wait_p50_ms", queue_wait_p50_ms);
+  AppendField(out, "queue_wait_p99_ms", queue_wait_p99_ms);
   AppendField(out, "throughput_rps", throughput_rps);
   AppendField(out, "batches_served", batches_served);
   AppendField(out, "batch_size_mean", batch_size_mean);
@@ -74,17 +77,23 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
-void Metrics::MarkStarted() { started_ = Clock::now(); }
+void Metrics::MarkStarted() {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  started_ = Clock::now();
+  epoch_served_base_ = requests_served_.load(std::memory_order_relaxed);
+  epoch_downtime_base_nanos_ =
+      downtime_nanos_.load(std::memory_order_relaxed);
+}
 
 void Metrics::RecordLatency(double millis) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mutex_);
-  if (latency_ring_.size() < kLatencyWindow) {
-    latency_ring_.push_back(millis);
-  } else {
-    latency_ring_[latency_next_] = millis;
-  }
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  latency_ring_.Record(millis);
+}
+
+void Metrics::RecordQueueWait(double millis) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  queue_wait_ring_.Record(millis);
 }
 
 void Metrics::RecordRejected() {
@@ -153,14 +162,39 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   snap.corrupted_weights = corrupted_weights_.load(std::memory_order_relaxed);
 
+  // One locked read of the epoch mark (a consistent trio — see the
+  // latency_mutex_ comment) and the sample windows.
+  Clock::time_point started;
+  std::uint64_t served_base = 0;
+  std::uint64_t downtime_base_nanos = 0;
+  std::vector<double> window;
+  std::vector<double> wait_window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    started = started_;
+    served_base = epoch_served_base_;
+    downtime_base_nanos = epoch_downtime_base_nanos_;
+    window = latency_ring_.samples;
+    wait_window = queue_wait_ring_.samples;
+  }
+
   snap.uptime_seconds =
-      std::chrono::duration<double>(Clock::now() - started_).count();
-  snap.downtime_seconds =
-      static_cast<double>(downtime_nanos_.load(std::memory_order_relaxed)) /
-      1e9;
+      std::chrono::duration<double>(Clock::now() - started).count();
+  const std::uint64_t downtime_nanos =
+      downtime_nanos_.load(std::memory_order_relaxed);
+  snap.downtime_seconds = static_cast<double>(downtime_nanos) / 1e9;
+  // Rates are per serving epoch (since the last MarkStarted), not per
+  // process lifetime: after a Stop -> Start restart the counters keep
+  // accumulating but uptime restamps, and dividing lifetime counts by the
+  // fresh epoch would report nonsense (huge throughput, zero
+  // availability).
+  const std::uint64_t downtime_base =
+      std::min(downtime_nanos, downtime_base_nanos);
+  const double epoch_downtime =
+      static_cast<double>(downtime_nanos - downtime_base) / 1e9;
   snap.availability =
       snap.uptime_seconds > 0.0
-          ? 1.0 - std::min(snap.downtime_seconds, snap.uptime_seconds) /
+          ? 1.0 - std::min(epoch_downtime, snap.uptime_seconds) /
                       snap.uptime_seconds
           : 1.0;
   snap.recovery_downtime_seconds =
@@ -171,9 +205,11 @@ MetricsSnapshot Metrics::Snapshot() const {
                           ? snap.recovery_downtime_seconds /
                                 static_cast<double>(snap.recoveries)
                           : 0.0;
+  const std::uint64_t epoch_served =
+      snap.requests_served - std::min(snap.requests_served, served_base);
   snap.throughput_rps =
       snap.uptime_seconds > 0.0
-          ? static_cast<double>(snap.requests_served) / snap.uptime_seconds
+          ? static_cast<double>(epoch_served) / snap.uptime_seconds
           : 0.0;
 
   snap.batches_served = batches_served_.load(std::memory_order_relaxed);
@@ -197,20 +233,91 @@ MetricsSnapshot Metrics::Snapshot() const {
         std::memory_order_relaxed);
   }
 
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    window = latency_ring_;
-  }
-  if (!window.empty()) {
+  const auto window_stats = [](std::vector<double>& samples, double& mean,
+                               double& p50, double& p99) {
+    if (samples.empty()) return;
     double sum = 0.0;
-    for (const double v : window) sum += v;
-    snap.latency_mean_ms = sum / static_cast<double>(window.size());
-    std::sort(window.begin(), window.end());
-    snap.latency_p50_ms = Quantile(window, 0.5);
-    snap.latency_p99_ms = Quantile(window, 0.99);
-  }
+    for (const double v : samples) sum += v;
+    mean = sum / static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    p50 = Quantile(samples, 0.5);
+    p99 = Quantile(samples, 0.99);
+  };
+  window_stats(window, snap.latency_mean_ms, snap.latency_p50_ms,
+               snap.latency_p99_ms);
+  window_stats(wait_window, snap.queue_wait_mean_ms, snap.queue_wait_p50_ms,
+               snap.queue_wait_p99_ms);
   return snap;
+}
+
+MetricsSnapshot AggregateSnapshots(
+    const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot agg;
+  if (parts.empty()) return agg;
+  double availability_sum = 0.0;
+  double latency_mean_w = 0.0, latency_p50_w = 0.0, latency_p99_w = 0.0;
+  double wait_mean_w = 0.0, wait_p50_w = 0.0, wait_p99_w = 0.0;
+  std::uint64_t batch_samples = 0;
+  double batch_service_ms = 0.0;
+  for (const auto& p : parts) {
+    agg.requests_served += p.requests_served;
+    agg.requests_rejected += p.requests_rejected;
+    agg.scrub_cycles += p.scrub_cycles;
+    agg.detections += p.detections;
+    agg.layers_flagged += p.layers_flagged;
+    agg.recoveries += p.recoveries;
+    agg.layers_recovered += p.layers_recovered;
+    agg.failed_recoveries += p.failed_recoveries;
+    agg.faults_injected += p.faults_injected;
+    agg.corrupted_weights += p.corrupted_weights;
+    agg.uptime_seconds = std::max(agg.uptime_seconds, p.uptime_seconds);
+    agg.downtime_seconds += p.downtime_seconds;
+    agg.recovery_downtime_seconds += p.recovery_downtime_seconds;
+    availability_sum += p.availability;
+    const double w = static_cast<double>(p.requests_served);
+    latency_mean_w += w * p.latency_mean_ms;
+    latency_p50_w += w * p.latency_p50_ms;
+    latency_p99_w += w * p.latency_p99_ms;
+    wait_mean_w += w * p.queue_wait_mean_ms;
+    wait_p50_w += w * p.queue_wait_p50_ms;
+    wait_p99_w += w * p.queue_wait_p99_ms;
+    agg.throughput_rps += p.throughput_rps;
+    agg.batches_served += p.batches_served;
+    batch_samples +=
+        static_cast<std::uint64_t>(p.batch_size_mean *
+                                   static_cast<double>(p.batches_served) +
+                                   0.5);
+    agg.batch_size_max = std::max(agg.batch_size_max, p.batch_size_max);
+    batch_service_ms += p.batch_service_mean_ms *
+                        static_cast<double>(p.batches_served);
+    if (p.batch_histogram.size() > agg.batch_histogram.size()) {
+      agg.batch_histogram.resize(p.batch_histogram.size(), 0);
+    }
+    for (std::size_t s = 0; s < p.batch_histogram.size(); ++s) {
+      agg.batch_histogram[s] += p.batch_histogram[s];
+    }
+  }
+  agg.availability = availability_sum / static_cast<double>(parts.size());
+  agg.mttr_seconds = agg.recoveries > 0
+                         ? agg.recovery_downtime_seconds /
+                               static_cast<double>(agg.recoveries)
+                         : 0.0;
+  if (agg.requests_served > 0) {
+    const double total = static_cast<double>(agg.requests_served);
+    agg.latency_mean_ms = latency_mean_w / total;
+    agg.latency_p50_ms = latency_p50_w / total;
+    agg.latency_p99_ms = latency_p99_w / total;
+    agg.queue_wait_mean_ms = wait_mean_w / total;
+    agg.queue_wait_p50_ms = wait_p50_w / total;
+    agg.queue_wait_p99_ms = wait_p99_w / total;
+  }
+  if (agg.batches_served > 0) {
+    agg.batch_size_mean = static_cast<double>(batch_samples) /
+                          static_cast<double>(agg.batches_served);
+    agg.batch_service_mean_ms =
+        batch_service_ms / static_cast<double>(agg.batches_served);
+  }
+  return agg;
 }
 
 }  // namespace milr::runtime

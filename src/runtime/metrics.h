@@ -31,9 +31,12 @@ struct MetricsSnapshot {
   std::uint64_t faults_injected = 0;     // fault-drive events against us
   std::uint64_t corrupted_weights = 0;   // weights hit by those events
 
-  double uptime_seconds = 0.0;           // wall time since Start()
+  double uptime_seconds = 0.0;           // wall time since (re)Start()
   double downtime_seconds = 0.0;         // total quarantine time (all causes)
-  double availability = 1.0;             // 1 - downtime / uptime
+  /// 1 - downtime/uptime over the CURRENT serving epoch: counters are
+  /// lifetime, but rate-derived fields subtract the MarkStarted baseline
+  /// so a restarted runtime reports sane rates (see Metrics::MarkStarted).
+  double availability = 1.0;
   /// Quarantine time attributable to *successful* recoveries only; the
   /// MTTR numerator. Failed-recovery downtime still counts against
   /// availability (downtime_seconds) but must not inflate MTTR.
@@ -43,7 +46,13 @@ struct MetricsSnapshot {
   double latency_mean_ms = 0.0;          // over the recent-sample window
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
-  double throughput_rps = 0.0;           // requests_served / uptime
+  /// Queue wait alone (admission -> worker pick-up), the scheduler-fairness
+  /// observable: under multi-model serving a starved model shows up here
+  /// long before end-to-end latency separates wait from service.
+  double queue_wait_mean_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double throughput_rps = 0.0;           // epoch requests served / uptime
 
   // Micro-batching statistics: one "batch" is one PredictBatch (or single
   // Predict) executed under one shared-lock acquisition by a worker.
@@ -59,13 +68,26 @@ struct MetricsSnapshot {
   std::string ToJson() const;
 };
 
+/// Folds per-model snapshots into one host-level view: counters, downtime
+/// and histograms sum; uptime is the max (the runtimes share one wall
+/// clock); availability is the per-model mean; MTTR re-derives from the
+/// summed recovery downtime. Latency/queue-wait statistics are
+/// request-weighted means of the per-model values — an approximation (true
+/// percentiles would need the merged sample windows) that is exact when
+/// the models see similar traffic and conservative enough for dashboards.
+MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& parts);
+
 /// Thread-safe registry shared by the engine, scrubber and fault drive.
 class Metrics {
  public:
   /// Window of recent latency samples kept for percentile estimation.
   static constexpr std::size_t kLatencyWindow = 1 << 14;
 
-  /// Stamps the uptime epoch; called by InferenceEngine::Start().
+  /// Stamps the uptime epoch; called on every (re)start of the owning
+  /// runtime. Counters keep accumulating across epochs, but the
+  /// rate-derived snapshot quantities (throughput_rps, availability) are
+  /// computed against baselines captured here — without them a restart
+  /// would divide lifetime counts by the fresh epoch's uptime.
   void MarkStarted();
 
   /// Largest batch size tracked exactly by the histogram; bigger batches
@@ -74,6 +96,9 @@ class Metrics {
 
   /// Records one served request and its end-to-end latency.
   void RecordLatency(double millis);
+  /// Records how long one request sat queued before a worker picked it up
+  /// (recorded at batch formation, before the model lock is taken).
+  void RecordQueueWait(double millis);
   void RecordRejected();
 
   /// Records one executed micro-batch: how many requests it carried and how
@@ -123,14 +148,41 @@ class Metrics {
   std::array<std::atomic<std::uint64_t>, kBatchHistogramMax + 1>
       batch_histogram_{};
 
+  /// Fixed-window reservoir of the most recent kLatencyWindow samples;
+  /// guarded by latency_mutex_ (both rings share it).
+  struct SampleRing {
+    std::vector<double> samples;
+    std::size_t next = 0;
+
+    void Record(double value) {
+      if (samples.size() < kLatencyWindow) {
+        samples.push_back(value);
+      } else {
+        samples[next] = value;
+      }
+      next = (next + 1) % kLatencyWindow;
+    }
+  };
+
+  /// Guards the sample rings AND the epoch mark below. Restart support
+  /// makes MarkStarted a live operation (host Start) that can race a
+  /// monitoring thread's Snapshot; the three epoch fields must be read
+  /// and written as one consistent set — a fresh epoch stamp paired with
+  /// stale baselines would emit one absurd throughput/availability sample
+  /// at every restart.
   mutable std::mutex latency_mutex_;
-  std::vector<double> latency_ring_;     // most recent kLatencyWindow samples
-  std::size_t latency_next_ = 0;
+  SampleRing latency_ring_;     // end-to-end latency samples
+  SampleRing queue_wait_ring_;  // same windowing, wait-only samples
 
   // Initialized at construction so a Snapshot() taken before MarkStarted()
   // (engine built but not yet Start()ed) reports a sane, near-zero uptime
   // instead of epoch-scale garbage; MarkStarted() then resets the epoch.
   Clock::time_point started_ = Clock::now();
+  // Epoch baselines (see MarkStarted): counter values at the last epoch
+  // stamp, subtracted when deriving rates so throughput/availability
+  // describe the current serving epoch, not the process lifetime.
+  std::uint64_t epoch_served_base_ = 0;
+  std::uint64_t epoch_downtime_base_nanos_ = 0;
 };
 
 }  // namespace milr::runtime

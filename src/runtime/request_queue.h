@@ -30,10 +30,19 @@ class BoundedQueue {
   /// Blocks while the queue is full. Returns false (and drops `item`) only
   /// if the queue was closed.
   bool Push(T item) {
+    return PushWith(std::move(item), [](T&) {});
+  }
+
+  /// Push that invokes `on_admit(item)` at the admission instant — inside
+  /// the lock, after any backpressure wait — so callers can stamp
+  /// admission time without counting the blocked wait as queue residency.
+  template <typename AdmitFn>
+  bool PushWith(T item, AdmitFn on_admit) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
+    on_admit(item);
     items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
@@ -61,19 +70,20 @@ class BoundedQueue {
     return item;
   }
 
-  /// Batched pop for the engine's micro-batcher. Blocks until at least one
-  /// item is available, then appends up to `max_items` to `out`. When the
-  /// backlog alone cannot fill the batch and `linger` is positive, waits up
-  /// to `linger` for more arrivals before returning — trading a bounded
-  /// slice of latency for fuller batches. Returns the number of items
-  /// appended; 0 means the queue is closed *and* drained (consumer exit).
-  /// A closed queue never lingers: shutdown drains in whatever batch sizes
-  /// the backlog provides.
-  std::size_t PopBatch(std::vector<T>& out, std::size_t max_items,
-                       std::chrono::microseconds linger) {
+  /// Batched pop for the micro-batcher, shaped for shared-pool workers: a
+  /// worker holding a scheduler grant must never sleep on one model's
+  /// empty queue while other models have backlog, so an empty queue
+  /// returns 0 immediately (whether open or closed — closed-with-backlog
+  /// still drains). Otherwise appends up to `max_items` to `out`; when
+  /// the backlog alone cannot fill the batch and `linger` is positive,
+  /// waits up to `linger` for more arrivals before returning — trading a
+  /// bounded slice of latency for fuller batches. A closed queue never
+  /// lingers: shutdown drains in whatever batch sizes the backlog
+  /// provides.
+  std::size_t TryPopBatch(std::vector<T>& out, std::size_t max_items,
+                          std::chrono::microseconds linger) {
     if (max_items == 0) max_items = 1;
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return 0;
     std::size_t taken = 0;
     const auto take_available = [&] {
@@ -106,6 +116,14 @@ class BoundedQueue {
     closed_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
+  }
+
+  /// Restart support: re-enables admission after Close(). The owner must
+  /// have drained the queue first — reopening over a backlog would revive
+  /// requests whose producers were already told "closed".
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
   }
 
   bool closed() const {

@@ -1,16 +1,13 @@
 #include "runtime/scrubber.h"
 
-#include "support/stopwatch.h"
+#include <utility>
+
+#include "runtime/model_runtime.h"
 
 namespace milr::runtime {
 
-Scrubber::Scrubber(core::MilrProtector& protector,
-                   std::shared_mutex& model_mutex, Metrics& metrics,
-                   ScrubberConfig config)
-    : protector_(&protector),
-      model_mutex_(&model_mutex),
-      metrics_(&metrics),
-      config_(config) {}
+Scrubber::Scrubber(TargetsFn targets, ScrubberConfig config)
+    : targets_(std::move(targets)), config_(config) {}
 
 Scrubber::~Scrubber() { Stop(); }
 
@@ -39,62 +36,21 @@ void Scrubber::Loop() {
       wake_.wait_for(lock, config_.period, [this] { return stop_requested_; });
       if (stop_requested_) return;
     }
-    RunCycle();
+    RunSweep();
   }
 }
 
-ScrubReport Scrubber::RunCycle() {
-  std::lock_guard<std::mutex> cycle_lock(cycle_mutex_);
-  ScrubReport report;
-
-  Stopwatch detect_watch;
-  core::DetectionReport detection;
-  {
-    std::shared_lock<std::shared_mutex> lock(*model_mutex_);
-    detection = protector_->Detect();
+std::vector<ScrubReport> Scrubber::RunSweep() {
+  std::lock_guard<std::mutex> sweep_lock(sweep_mutex_);
+  std::vector<ScrubReport> reports;
+  for (const auto& runtime : targets_()) {
+    reports.push_back(runtime->ScrubCycle());
   }
-  report.detect_seconds = detect_watch.ElapsedSeconds();
-  metrics_->RecordScrubCycle();
-  if (!detection.any()) return report;
+  return reports;
+}
 
-  report.flagged_layers = detection.flagged_layers.size();
-  metrics_->RecordDetection(detection.flagged_layers.size());
-
-  Stopwatch outage;
-  {
-    std::unique_lock<std::shared_mutex> lock(*model_mutex_);
-    // Faults may have landed between the concurrent detect and acquiring
-    // the exclusive lock; re-detect so recovery sees the full damage.
-    detection = protector_->Detect();
-    if (detection.any()) {
-      const auto recovery = protector_->Recover(detection);
-      for (const auto& layer : recovery.layers) {
-        if (layer.status.ok()) {
-          ++report.recovered_layers;
-        } else {
-          report.recovery_ok = false;
-        }
-      }
-    }
-  }
-  report.outage_seconds = outage.ElapsedSeconds();
-  // Downtime and recovery accounting are split on purpose: every exclusive
-  // quarantine charges availability, but only quarantines that actually
-  // repaired layers feed the MTTR numerator/denominator. Lumping failed
-  // repairs' outage into RecordRecovery inflated MTTR (downtime in the
-  // numerator, no matching recovery in the denominator).
-  //
-  // Known approximation: a mixed cycle (some layers repaired, one solve
-  // failed) charges its full outage to MTTR because Recover() does not
-  // time individual layer solves — the failure is still visible in
-  // failed_recoveries. Per-layer outage attribution needs per-solve
-  // timing in MilrProtector first.
-  metrics_->RecordDowntime(report.outage_seconds);
-  if (report.recovered_layers > 0) {
-    metrics_->RecordRecovery(report.recovered_layers, report.outage_seconds);
-  }
-  if (!report.recovery_ok) metrics_->RecordFailedRecovery();
-  return report;
+void Scrubber::AwaitSweepBoundary() {
+  std::lock_guard<std::mutex> sweep_lock(sweep_mutex_);
 }
 
 }  // namespace milr::runtime

@@ -1,29 +1,30 @@
 // Background integrity scrubber: MILR's detection phase as a daemon.
 //
 // The paper runs detection as a one-shot experiment; a live service instead
-// sweeps continuously. Each cycle runs the *cheap* phase (partial-checkpoint
-// signature compare) under a shared (reader) lock so it executes fully
-// concurrently with inference. Only when a layer is flagged does the
-// scrubber quarantine the model: taking the exclusive lock drains in-flight
-// predictions and gates new ones, MILR recovery rewrites the damaged
-// weights, and serving resumes. The quarantine duration is the downtime
-// eq. 6 charges — Metrics records it so measured availability can be held
-// against the paper's analytic model.
+// sweeps continuously. One scrubber thread serves the whole host: each sweep
+// round-robins over every registered ModelRuntime and runs that runtime's
+// scrub cycle (ModelRuntime::ScrubCycle) under *that runtime's own* model
+// lock — the cheap detection phase under a shared (reader) lock fully
+// concurrent with inference, and only a flagged layer escalates to the
+// exclusive quarantine in which MILR recovery rewrites the damaged weights.
+// Because the locks are per-model, one model's quarantine never gates
+// another model's serving; the quarantine duration is the downtime eq. 6
+// charges, recorded into that model's Metrics.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
+#include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <thread>
-
-#include "milr/protector.h"
-#include "runtime/metrics.h"
+#include <vector>
 
 namespace milr::runtime {
 
-/// Outcome of one scrub cycle.
+class ModelRuntime;
+
+/// Outcome of one scrub cycle over one model.
 struct ScrubReport {
   std::size_t flagged_layers = 0;
   std::size_t recovered_layers = 0;
@@ -38,10 +39,14 @@ struct ScrubberConfig {
 
 class Scrubber {
  public:
-  /// All references must outlive the scrubber. `model_mutex` is the
-  /// engine's reader/writer gate over the model's parameter memory.
-  Scrubber(core::MilrProtector& protector, std::shared_mutex& model_mutex,
-           Metrics& metrics, ScrubberConfig config);
+  /// Yields the current scrub targets; called at the top of every sweep so
+  /// models added or removed while the scrubber runs are picked up without
+  /// restarting it. The callback (typically ServingHost's registry view)
+  /// must be safe to call from the scrub thread.
+  using TargetsFn =
+      std::function<std::vector<std::shared_ptr<ModelRuntime>>()>;
+
+  Scrubber(TargetsFn targets, ScrubberConfig config);
   ~Scrubber();
 
   Scrubber(const Scrubber&) = delete;
@@ -49,22 +54,30 @@ class Scrubber {
 
   /// Starts / stops the background sweep thread. Stop() is prompt: a
   /// sleeping scrubber wakes immediately instead of finishing its period.
+  /// Start() after Stop() resumes sweeping (restart support).
   void Start();
   void Stop();
 
-  /// Runs one synchronous cycle (detect → quarantine+recover if needed).
-  /// Safe to call while the background thread runs; cycles are serialized.
-  ScrubReport RunCycle();
+  /// Runs one synchronous sweep over all current targets; reports are in
+  /// target order. Safe to call while the background thread runs — sweeps
+  /// are serialized by sweep_mutex_ (and per-runtime cycles additionally
+  /// by the runtime itself).
+  std::vector<ScrubReport> RunSweep();
+
+  /// Blocks until any sweep in progress has finished. A sweep snapshots
+  /// its targets at the start, so deregistering a runtime from the
+  /// TargetsFn source does not stop an already-running sweep from
+  /// scrubbing it; RemoveModel calls this after deregistration so the
+  /// caller may safely destroy the (caller-owned) model afterwards.
+  void AwaitSweepBoundary();
 
  private:
   void Loop();
 
-  core::MilrProtector* protector_;
-  std::shared_mutex* model_mutex_;
-  Metrics* metrics_;
+  TargetsFn targets_;
   ScrubberConfig config_;
 
-  std::mutex cycle_mutex_;  // serializes RunCycle across threads
+  std::mutex sweep_mutex_;  // held for the duration of one sweep
   std::thread thread_;
   std::mutex wake_mutex_;
   std::condition_variable wake_;

@@ -1,0 +1,103 @@
+#include "runtime/serving_host.h"
+
+#include <utility>
+
+namespace milr::runtime {
+
+ServingHost::ServingHost(ServingHostConfig config)
+    : config_(config),
+      scheduler_(std::make_shared<Scheduler>()),
+      pool_(std::make_unique<WorkerPool>(
+          *scheduler_, WorkerPoolConfig{config.worker_threads})),
+      scrubber_(std::make_unique<Scrubber>(
+          [this] { return scheduler_->runtimes(); },
+          ScrubberConfig{config.scrub_period})) {}
+
+ServingHost::~ServingHost() {
+  Stop();
+  // Handles may outlive the host: their weak scheduler references expire
+  // when scheduler_ is released here (an in-flight NotifyWork pins it
+  // through its lock()ed shared_ptr until the call returns), so a late
+  // Submit throws on the closed queue instead of signalling a destroyed
+  // scheduler.
+}
+
+ServingHost::ModelHandle ServingHost::AddModel(nn::Model& model,
+                                               ModelRuntimeConfig config,
+                                               std::string name) {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (name.empty()) name = "model_" + std::to_string(name_counter_);
+  ++name_counter_;
+  auto runtime =
+      std::make_shared<ModelRuntime>(model, config, std::move(name));
+  if (running_.load(std::memory_order_acquire)) {
+    runtime->MarkStarted();
+  } else if (stopped_) {
+    // The host is stopped (not merely not-yet-started): admission must be
+    // closed everywhere, or Submit on the new handle would queue into a
+    // workerless host instead of throwing. Start() reopens it.
+    runtime->CloseQueue();
+  }
+  runtime->AttachScheduler(scheduler_);
+  scheduler_->Register(runtime);
+  return runtime;
+}
+
+void ServingHost::RemoveModel(const ModelHandle& handle) {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!handle) return;
+  handle->CloseQueue();
+  if (running_.load(std::memory_order_acquire)) {
+    // Admitted requests drain through the shared pool before the runtime
+    // leaves the scheduler; wake workers in case they are all idle.
+    scheduler_->NotifyWork();
+    scheduler_->WaitDrained(handle.get());
+  }
+  scheduler_->Deregister(handle.get());
+  // A sweep that snapshotted its targets before the Deregister may still
+  // be scrubbing this runtime; wait it out so the caller can destroy the
+  // caller-owned model the moment we return.
+  scrubber_->AwaitSweepBoundary();
+  handle->AttachScheduler({});
+}
+
+void ServingHost::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) return;
+  for (const auto& runtime : scheduler_->runtimes()) {
+    runtime->ReopenQueue();  // no-op on first start, restart support after
+    runtime->MarkStarted();
+  }
+  pool_->Start();
+  if (config_.scrubber_enabled) scrubber_->Start();
+  stopped_ = false;
+  running_.store(true, std::memory_order_release);
+}
+
+void ServingHost::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  // Shutdown order is load-bearing:
+  //   1. the scrubber stops first, so no scrub cycle can take a model lock
+  //      between queue close and worker exit (a late quarantine would
+  //      stall the drain and could recover against a half-shut host);
+  //   2. the queues close, which stops admission but lets the pool drain
+  //      every admitted request;
+  //   3. workers exit once every queue is drained, and are joined.
+  // Runs even when never started so that Stop() always leaves admission
+  // closed (Submit after Stop throws, whether or not Start ever ran).
+  scrubber_->Stop();
+  for (const auto& runtime : scheduler_->runtimes()) runtime->CloseQueue();
+  pool_->Stop();
+  stopped_ = true;
+  running_.store(false, std::memory_order_release);
+}
+
+MetricsSnapshot ServingHost::AggregateSnapshot() const {
+  std::vector<MetricsSnapshot> parts;
+  for (const auto& runtime : scheduler_->runtimes()) {
+    parts.push_back(runtime->Snapshot());
+  }
+  return AggregateSnapshots(parts);
+}
+
+}  // namespace milr::runtime

@@ -1,0 +1,121 @@
+// ServingHost: several protected models behind one worker pool.
+//
+// The production shape the ROADMAP asks for: real deployments co-host N
+// CNNs on one machine, each with MILR protection always on. One host owns
+//   * a shared WorkerPool sized to the machine (not N pools of cores),
+//   * a deficit-round-robin Scheduler so a hot model cannot starve a cold
+//     one while micro-batches still form per model (worker_pool.h),
+//   * one background Scrubber that round-robins detect/recover across the
+//     registered runtimes under each runtime's own lock (scrubber.h).
+// Each model lives in a ModelRuntime: its queue, shared_mutex,
+// MilrProtector, kernel tier and Metrics are private to it, so one model's
+// quarantine or queue backlog never gates another model's serving.
+//
+// Lifecycle: AddModel/RemoveModel may run before Start or while serving.
+// Stop() stops the scrubber first (no late quarantine can stall the
+// drain), closes every queue (admission off, Submit throws), lets workers
+// drain every admitted request and joins them. Start() after Stop() is a
+// clean restart: queues reopen, workers respawn, metrics epochs restamp
+// (counters keep accumulating).
+//
+// InferenceEngine (engine.h) is the single-model facade over this type.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "runtime/model_runtime.h"
+#include "runtime/scrubber.h"
+#include "runtime/worker_pool.h"
+
+namespace milr::runtime {
+
+/// Host-wide knobs; per-model knobs live in ModelRuntimeConfig.
+struct ServingHostConfig {
+  /// Shared pool size (see WorkerPoolConfig::threads).
+  std::size_t worker_threads = DefaultWorkerThreads();
+  bool scrubber_enabled = true;
+  /// One sweep visits every registered model, so the effective per-model
+  /// scrub period grows with the number of co-hosted models.
+  std::chrono::milliseconds scrub_period{50};
+};
+
+class ServingHost {
+ public:
+  /// Handle to a hosted model: the client-facing surface for submitting
+  /// requests, injecting faults and reading per-model metrics. Shared
+  /// ownership keeps the runtime valid for handle holders even after
+  /// RemoveModel (its queue is closed then — submissions fail fast).
+  using ModelHandle = std::shared_ptr<ModelRuntime>;
+
+  explicit ServingHost(ServingHostConfig config = {});
+  ~ServingHost();
+
+  ServingHost(const ServingHost&) = delete;
+  ServingHost& operator=(const ServingHost&) = delete;
+
+  /// Registers `model` (golden state, must outlive its serving; see
+  /// ModelRuntime). Safe before Start and while running; a model added to
+  /// a running host serves immediately, one added before the first Start
+  /// queues submissions until it. On a *stopped* host (after Stop) the new
+  /// runtime's admission starts closed, matching the Stop contract —
+  /// Start reopens it with the rest. `name` defaults to "model_<n>".
+  ModelHandle AddModel(nn::Model& model, ModelRuntimeConfig config = {},
+                       std::string name = {});
+
+  /// Closes the model's queue, waits until the shared pool has drained its
+  /// admitted requests (when running), and deregisters it from scheduling
+  /// and scrubbing. On a stopped host any still-queued requests are
+  /// abandoned (their futures see broken_promise at handle destruction).
+  void RemoveModel(const ModelHandle& handle);
+
+  /// Spawns the shared pool (and the scrubber when enabled). Requests may
+  /// be queued before Start(), but nothing is served until it runs.
+  /// Restartable: Start() after Stop() reopens the queues and resumes.
+  void Start();
+
+  /// Stops admission, drains every queued request, joins all service
+  /// threads. Idempotent; also run by the destructor. Shutdown order is
+  /// load-bearing — scrubber first, then queues, then workers (see the
+  /// file comment).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Registered runtimes, in registration order.
+  std::vector<ModelHandle> models() const { return scheduler_->runtimes(); }
+
+  /// Host-level rollup of every model's snapshot (see AggregateSnapshots);
+  /// per-model views come from ModelRuntime::Snapshot on the handles.
+  MetricsSnapshot AggregateSnapshot() const;
+
+  /// Shared-pool size actually used (clamped >= 1).
+  std::size_t worker_threads() const { return pool_->thread_count(); }
+  bool pins_nested_parallelism() const {
+    return pool_->pins_nested_parallelism();
+  }
+
+  const ServingHostConfig& config() const { return config_; }
+
+ private:
+  ServingHostConfig config_;
+  /// Shared so runtimes can hold weak references: a handle outliving the
+  /// host (or racing its destruction) finds the scheduler expired instead
+  /// of dangling when it signals new work. Declared before pool_ —
+  /// destruction joins the workers before the scheduler they block on
+  /// goes away.
+  std::shared_ptr<Scheduler> scheduler_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<Scrubber> scrubber_;
+  std::atomic<bool> running_{false};
+  bool stopped_ = false;  // Stop() ran more recently than Start()
+  std::mutex lifecycle_mutex_;  // serializes Start/Stop/Add/Remove
+  std::size_t name_counter_ = 0;
+};
+
+}  // namespace milr::runtime

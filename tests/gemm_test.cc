@@ -222,6 +222,88 @@ TEST(GemmTest, FastPropagatesNonFiniteWeights) {
   }
 }
 
+// ------------------------------------------------- pre-packed B (weights)
+
+// Split pack (PackBPanels, cached by DenseLayer) + multiply
+// (GemmAccumulateFastPrepacked) must stay tolerance-equivalent to the
+// double-precision oracle for every dispatch tier the prepacked entry can
+// route to (row-structured for thin shapes, packed micro-kernels above).
+void ExpectPrepackedClose(const std::vector<float>& a,
+                          const std::vector<float>& b,
+                          const std::vector<float>& c0, std::size_t m,
+                          std::size_t k, std::size_t n) {
+  std::vector<float> bpack(PackedBSize(k, n));
+  PackBPanels(b.data(), k, n, bpack.data());
+  auto c_pre = c0;
+  GemmAccumulateFastPrepacked(a.data(), b.data(), bpack.data(),
+                              c_pre.data(), m, k, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double truth = static_cast<double>(c0[i * n + j]);
+      for (std::size_t p = 0; p < k; ++p) {
+        truth += static_cast<double>(a[i * k + p]) *
+                 static_cast<double>(b[p * n + j]);
+      }
+      const double got = c_pre[i * n + j];
+      const double tol = 1e-4 * (1.0 + std::abs(truth));
+      ASSERT_NEAR(got, truth, tol)
+          << "m=" << m << " k=" << k << " n=" << n << " at (" << i << ","
+          << j << ")";
+    }
+  }
+}
+
+TEST(GemmTest, PrepackedMatchesDoubleOracleAcrossDispatchTiers) {
+  // m straddles the kMr = 4 register tile (row kernel below, packed
+  // panels at/above), n straddles the kNr = 16 panel width, and k
+  // straddles the kKc = 256 block depth so multi-block packing and the
+  // k-split accumulation are both exercised.
+  Prng prng(1111);
+  const std::size_t ms[] = {1, 3, 4, 5, 16, 33};
+  const std::size_t ks[] = {1, 19, 255, 256, 300};
+  const std::size_t ns[] = {1, 15, 16, 17, 97};
+  for (const std::size_t m : ms) {
+    for (const std::size_t k : ks) {
+      for (const std::size_t n : ns) {
+        const auto a = RandomBuffer(m * k, prng);
+        const auto b = RandomBuffer(k * n, prng);
+        const auto c0 = RandomBuffer(m * n, prng);
+        ExpectPrepackedClose(a, b, c0, m, k, n);
+      }
+    }
+  }
+}
+
+TEST(GemmTest, PrepackedPropagatesNonFiniteWeights) {
+  // The packed panel cache must not launder corruption: a NaN weight in
+  // the source matrix poisons exactly its column, through both the
+  // row-structured (m = 2) and packed-panel (m = 8) routes, across a
+  // k-block boundary (k = 300).
+  Prng prng(1212);
+  for (const std::size_t m : {std::size_t{2}, std::size_t{8}}) {
+    const std::size_t k = 300, n = 19;
+    const auto a = RandomBuffer(m * k, prng);
+    auto b = RandomBuffer(k * n, prng);
+    const std::size_t bad_col = 6;
+    b[280 * n + bad_col] = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> bpack(PackedBSize(k, n));
+    PackBPanels(b.data(), k, n, bpack.data());
+    std::vector<float> c(m * n, 0.0f);
+    GemmAccumulateFastPrepacked(a.data(), b.data(), bpack.data(), c.data(),
+                                m, k, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == bad_col) {
+          EXPECT_TRUE(std::isnan(c[i * n + j])) << m << ":" << i;
+        } else {
+          EXPECT_FALSE(std::isnan(c[i * n + j]))
+              << m << ":" << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
 TEST(GemmTest, NonFiniteWeightsPropagateIdentically) {
   // The fault injectors can flip a weight to Inf/NaN. A zero activation
   // times an Inf weight is NaN in IEEE; the tiled row-quad path, the tiled

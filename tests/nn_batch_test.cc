@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apps/networks.h"
+#include "nn/gemm.h"
 #include "nn/init.h"
 #include "nn/model.h"
 #include "support/prng.h"
@@ -275,6 +276,57 @@ TEST(BatchEquivalenceTest, FastModelPredictBatchWithinTolerance) {
   }
   EXPECT_TRUE(AllClose(fast_out, exact_out, 1e-3f * (1.0f + scale)))
       << "deviates by " << MaxAbsDiff(fast_out, exact_out);
+}
+
+// --------------------------------------------- dense packed-panel cache
+
+TEST(BatchEquivalenceTest, DensePackedPanelsWarmOnceAtKernelConfig) {
+  DenseLayer dense(64, 24);
+  RandomizeParams(dense, 31);
+  if (!PackedBSupported()) {
+    GTEST_SKIP() << "no vector micro-kernel on this build";
+  }
+  EXPECT_FALSE(dense.packed_weights_valid());
+  dense.set_kernel_config(KernelConfig::kFast);
+  EXPECT_TRUE(dense.packed_weights_valid())
+      << "set_kernel_config(kFast) must pack the weight panels eagerly";
+}
+
+TEST(BatchEquivalenceTest, DensePackedPanelsInvalidateOnWeightMutation) {
+  // The invalidation contract behind online recovery: mutating the
+  // weights through the fault-domain span (the path MILR recovery, fault
+  // injectors, training and RestoreParams all use) must drop the cached
+  // panels, and the next fast batch must serve the NEW weights — a stale
+  // cache here would mean recovery repairs memory while inference keeps
+  // serving the corrupted (or pre-repair) panels.
+  DenseLayer dense(48, 20);
+  RandomizeParams(dense, 77);
+  dense.set_kernel_config(KernelConfig::kFast);
+  const auto samples = RandomSamples(Shape{48}, 6, 170);
+  const Tensor batched = Stack(samples);
+  dense.ForwardBatch(batched);  // serve once from the warm cache
+
+  RandomizeParams(dense, 78);  // "recovery" rewrites the weights
+  if (PackedBSupported()) {
+    EXPECT_FALSE(dense.packed_weights_valid())
+        << "Params() mutation must invalidate the panel cache";
+  }
+  const Tensor fast_out = dense.ForwardBatch(batched);
+
+  // Oracle: a fresh layer with identical (new) weights, exact tier.
+  DenseLayer oracle(48, 20);
+  RandomizeParams(oracle, 78);
+  const Tensor exact_out = oracle.ForwardBatch(batched);
+  float scale = 0.0f;
+  for (std::size_t i = 0; i < exact_out.size(); ++i) {
+    scale = std::max(scale, std::abs(exact_out[i]));
+  }
+  EXPECT_TRUE(AllClose(fast_out, exact_out, 1e-3f * (1.0f + scale)))
+      << "stale packed panels served: deviates by "
+      << MaxAbsDiff(fast_out, exact_out);
+  if (PackedBSupported()) {
+    EXPECT_TRUE(dense.packed_weights_valid()) << "lazy repack did not run";
+  }
 }
 
 TEST(BatchEquivalenceTest, KernelConfigPropagatesToLayersAddedLater) {

@@ -148,6 +148,78 @@ TEST(InferenceEngineTest, TrySubmitShedsLoadAtTheQueueBound) {
   EXPECT_EQ(b->get().shape(), model.output_shape());
 }
 
+// Satellite contract (restart footgun): Start() after Stop() is a clean
+// restart — admission reopens, the pool respawns, counters accumulate.
+TEST(InferenceEngineTest, RestartAfterStopServesAgain) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 1);
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+
+  engine.Start();
+  EXPECT_EQ(engine.Predict(probes[0]).shape(), model.output_shape());
+  engine.Stop();
+  EXPECT_FALSE(engine.running());
+  // Between Stop and restart the admission contract holds.
+  EXPECT_THROW(engine.Submit(probes[0]), std::runtime_error);
+  EXPECT_FALSE(engine.TrySubmit(probes[0]).has_value());
+
+  engine.Start();
+  EXPECT_TRUE(engine.running());
+  EXPECT_EQ(engine.Predict(probes[0]).shape(), model.output_shape());
+  EXPECT_EQ(engine.Snapshot().requests_served, 2u);
+  engine.Stop();
+}
+
+// Satellite contract (submission-after-shutdown): submitters racing the
+// drain get either a fulfilled future or std::runtime_error — never UB —
+// and TrySubmit degrades to nullopt.
+TEST(InferenceEngineTest, SubmittersRacingStopServeOrThrow) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 2);
+  EngineConfig config;
+  config.worker_threads = 2;
+  config.queue_capacity = 8;  // small bound: Push blocks during the race
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<Tensor>>> futures(3);
+  for (std::size_t t = 0; t < futures.size(); ++t) {
+    submitters.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0;; ++i) {
+        try {
+          futures[t].push_back(engine.Submit(probes[i % probes.size()]));
+        } catch (const std::runtime_error&) {
+          return;  // queue closed by Stop: the documented signal
+        }
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(20ms);
+  engine.Stop();
+  for (auto& thread : submitters) thread.join();
+
+  std::size_t admitted = 0;
+  for (auto& lane : futures) {
+    for (auto& future : lane) {
+      ASSERT_EQ(future.wait_for(0ms), std::future_status::ready)
+          << "Stop() abandoned an admitted request";
+      EXPECT_EQ(future.get().shape(), model.output_shape());
+      ++admitted;
+    }
+  }
+  EXPECT_GT(admitted, 0u);
+  EXPECT_EQ(engine.Snapshot().requests_served, admitted);
+  EXPECT_THROW(engine.Submit(probes[0]), std::runtime_error);
+  EXPECT_FALSE(engine.TrySubmit(probes[0]).has_value());
+}
+
 TEST(InferenceEngineTest, StopDrainsQueuedRequests) {
   nn::Model model = TestModel();
   const auto probes = Probes(model, 1);
@@ -463,6 +535,25 @@ TEST(MetricsTest, FailedRecoveryDoesNotInflateMttr) {
       << "failed-recovery downtime leaked into MTTR";
   const std::string json = snap.ToJson();
   EXPECT_NE(json.find("\"failed_recoveries\": 1"), std::string::npos);
+}
+
+// Restart contract: MarkStarted restamps the rate epoch. Counters stay
+// lifetime, but throughput/availability must describe the NEW epoch —
+// dividing lifetime counts by a fresh epoch's uptime reported absurd
+// throughput and zero availability after a Stop -> Start restart.
+TEST(MetricsTest, RestartRestampsRateEpochButKeepsCounters) {
+  Metrics metrics;
+  metrics.MarkStarted();
+  metrics.RecordLatency(1.0);
+  metrics.RecordDowntime(1000.0);  // catastrophic first epoch
+  metrics.MarkStarted();           // restart
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.requests_served, 1u);             // lifetime counter
+  EXPECT_NEAR(snap.downtime_seconds, 1000.0, 1e-6);  // lifetime counter
+  EXPECT_DOUBLE_EQ(snap.throughput_rps, 0.0)
+      << "pre-restart requests leaked into the new epoch's rate";
+  EXPECT_GT(snap.availability, 0.99)
+      << "pre-restart downtime leaked into the new epoch's availability";
 }
 
 // RecordRecovery with zero layers is a misuse (the scrubber no longer
