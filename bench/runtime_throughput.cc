@@ -9,20 +9,28 @@
 // the curve is the availability model's "useful work between detection
 // windows" knob made measurable.
 //
-// The kernel dimension sweeps KernelConfig::kExact (bit-exact tiled
-// kernels, the default and fault-injection baseline) against
-// KernelConfig::kFast (packed k-blocked SIMD panels): the printed
-// fast-vs-exact ratio is the single-core speedup the packed tier buys at
-// each batch size. Scrubber is ON for every phase (the production
-// configuration).
+// The kernel dimension sweeps all three tiers: KernelConfig::kExact
+// (bit-exact tiled kernels, the default and fault-injection baseline),
+// KernelConfig::kFast (packed k-blocked SIMD fp32 panels) and
+// KernelConfig::kInt8 (quantized int8 weight replica, src/quant/). The
+// printed fast/exact ratio is the compute-bound speedup of the packed
+// tier; the int8/fast ratio is the MEMORY-BOUND story — on a net whose
+// weights exceed L2 (MILR_NET=dense_xl, the "memory-bound dense sweep"),
+// micro-batch GEMMs are bound on streaming weight bytes and int8 streams
+// 4x fewer of them. The int8 sweep also reports top-1 agreement against
+// the exact tier, the tier's accuracy acceptance number. Scrubber is ON
+// for every phase (the production configuration).
 //
-// Knobs: MILR_NET (cifar_large | cifar_small | mnist | dense | tiny;
-// default cifar_large), MILR_BENCH_SECONDS (per phase, default 2),
+// Knobs: MILR_NET (cifar_large | cifar_small | mnist | dense | dense_xl |
+// tiny; default cifar_large), MILR_BENCH_SECONDS (per phase, default 2),
 // MILR_CLIENTS (client threads, default 2), MILR_WORKERS (engine workers,
 // default 2).
 //
 // `--smoke` is the CI mode: tiny net, two batch sizes, sub-second phases —
 // just enough to fail loudly if a kernel or engine regression lands.
+// `--json` additionally writes BENCH_runtime.json (per-config QPS, p99,
+// per-call times, agreement) so CI can archive the perf trajectory as a
+// machine-readable artifact.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -74,15 +82,27 @@ milr::nn::Model BuildServingModel(const char* which) {
     // Dense-heavy MLP: per request virtually all time is the (B,N)·(N,P)
     // dense GEMMs, so this sweep isolates the kernel-tier speedup from
     // im2col and pooling overheads. Widths are sized so total weights
-    // (~1.1 MB) stay L2-resident: wider layers make micro-batch serving
-    // memory-bound on streaming weights from L3, where no kernel tier can
-    // differ — that regime is a valid serving workload but a useless
-    // kernel benchmark.
+    // (~1.1 MB) stay L2-resident: the fp32 fast tier's best case. (For
+    // the regime where that stops working, see dense_xl.)
     nn::Model model(Shape{256});
     model.AddDense(320).AddBias().AddReLU();
     model.AddDense(320).AddBias().AddReLU();
     model.AddDense(320).AddBias().AddReLU();
     model.AddDense(256).AddBias().AddReLU();
+    model.AddDense(10).AddBias();
+    nn::InitHeUniform(model, /*seed=*/11);
+    return model;
+  }
+  if (std::strcmp(which, "dense_xl") == 0) {
+    // The memory-bound dense sweep: ~25 MB of fp32 weights — far past any
+    // L2 and most L3 slices — so micro-batch GEMMs are bound on streaming
+    // weight bytes, not FLOPs. No fp32 kernel tier can help here (every
+    // tier moves the same bytes); the int8 tier's 4x-smaller replica is
+    // the lever, and this net is where its headline ratio is measured.
+    nn::Model model(Shape{1024});
+    model.AddDense(1536).AddBias().AddReLU();
+    model.AddDense(1536).AddBias().AddReLU();
+    model.AddDense(1536).AddBias().AddReLU();
     model.AddDense(10).AddBias();
     nn::InitHeUniform(model, /*seed=*/11);
     return model;
@@ -169,24 +189,38 @@ PhaseResult RunPhase(milr::nn::Model& model,
   return result;
 }
 
+struct ModelSweepRow {
+  std::size_t batch = 0;
+  // Per-call seconds, indexed exact / fast / int8.
+  double per_call[3] = {0.0, 0.0, 0.0};
+};
+
 /// Kernel-bound sweep: times Model::PredictBatch in a tight single-thread
-/// loop, exact vs fast, per batch size. Unlike the engine phases below it
-/// has no client/worker/scrubber scheduling noise, so the printed
-/// fast/exact ratio is a stable measure of the kernel tier itself on any
-/// machine (on a single hardware thread the engine sweep is dominated by
-/// contention between load generators and the worker).
-void RunModelSweep(milr::nn::Model& model,
-                   const std::vector<std::size_t>& batches, double seconds) {
+/// loop across all three tiers, per batch size. Unlike the engine phases
+/// below it has no client/worker/scrubber scheduling noise, so the
+/// printed ratios are a stable measure of the kernel tiers themselves on
+/// any machine (on a single hardware thread the engine sweep is dominated
+/// by contention between load generators and the worker). On dense_xl
+/// (weights > L2) the int8/fast column is the memory-bound headline.
+std::vector<ModelSweepRow> RunModelSweep(
+    milr::nn::Model& model, const std::vector<std::size_t>& batches,
+    double seconds) {
   using namespace milr;
-  std::printf("model-path sweep (single thread, no engine):\n");
+  static constexpr nn::KernelConfig kTiers[3] = {nn::KernelConfig::kExact,
+                                                 nn::KernelConfig::kFast,
+                                                 nn::KernelConfig::kInt8};
+  std::printf("model-path sweep (single thread, no engine; %.1f MB fp32 "
+              "weights):\n",
+              static_cast<double>(model.TotalParamBytes()) / 1e6);
   Prng prng(17);
+  std::vector<ModelSweepRow> rows;
   for (const std::size_t b : batches) {
     Tensor batch =
         RandomTensor(WithBatchAxis(b, model.input_shape()), prng);
-    double per_call[2] = {0.0, 0.0};
-    for (int cfg = 0; cfg < 2; ++cfg) {
-      model.set_kernel_config(cfg == 0 ? nn::KernelConfig::kExact
-                                       : nn::KernelConfig::kFast);
+    ModelSweepRow row;
+    row.batch = b;
+    for (int cfg = 0; cfg < 3; ++cfg) {
+      model.set_kernel_config(kTiers[cfg]);
       model.PredictBatch(batch);  // warm caches and scratch
       const auto deadline =
           std::chrono::steady_clock::now() +
@@ -197,17 +231,73 @@ void RunModelSweep(milr::nn::Model& model,
         model.PredictBatch(batch);
         ++calls;
       }
-      per_call[cfg] = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - start)
-                          .count() /
-                      static_cast<double>(calls);
+      row.per_call[cfg] = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count() /
+                          static_cast<double>(calls);
     }
     model.set_kernel_config(nn::KernelConfig::kExact);
-    std::printf("  batch=%-2zu  exact %8.3f ms/call  fast %8.3f ms/call  "
-                "fast/exact=%.2fx\n",
-                b, per_call[0] * 1e3, per_call[1] * 1e3,
-                per_call[1] > 0.0 ? per_call[0] / per_call[1] : 0.0);
+    std::printf("  batch=%-2zu  exact %8.3f ms  fast %8.3f ms  int8 %8.3f "
+                "ms/call  fast/exact=%.2fx  int8/fast=%.2fx\n",
+                b, row.per_call[0] * 1e3, row.per_call[1] * 1e3,
+                row.per_call[2] * 1e3,
+                row.per_call[1] > 0.0 ? row.per_call[0] / row.per_call[1]
+                                      : 0.0,
+                row.per_call[2] > 0.0 ? row.per_call[1] / row.per_call[2]
+                                      : 0.0);
+    rows.push_back(row);
   }
+  return rows;
+}
+
+/// Top-1 agreement of the fast and int8 tiers against the exact tier on
+/// random probes — the quantized tier's accuracy acceptance number,
+/// measured on the same net the throughput sweeps use.
+struct AgreementResult {
+  std::size_t samples = 0;
+  double fast_top1 = 1.0;
+  double int8_top1 = 1.0;
+};
+
+AgreementResult MeasureAgreement(milr::nn::Model& model,
+                                 std::size_t samples) {
+  using namespace milr;
+  Prng prng(23);
+  Tensor batch =
+      RandomTensor(WithBatchAxis(samples, model.input_shape()), prng);
+  model.set_kernel_config(nn::KernelConfig::kExact);
+  const Tensor exact = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kFast);
+  const Tensor fast = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor int8 = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kExact);
+
+  const std::size_t classes = exact.size() / samples;
+  const auto top1 = [&](const Tensor& t, std::size_t s) {
+    const float* row = t.data() + s * classes;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < classes; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    return best;
+  };
+  AgreementResult result;
+  result.samples = samples;
+  std::size_t fast_agree = 0, int8_agree = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t want = top1(exact, s);
+    fast_agree += (top1(fast, s) == want) ? 1 : 0;
+    int8_agree += (top1(int8, s) == want) ? 1 : 0;
+  }
+  result.fast_top1 =
+      static_cast<double>(fast_agree) / static_cast<double>(samples);
+  result.int8_top1 =
+      static_cast<double>(int8_agree) / static_cast<double>(samples);
+  std::printf("top-1 agreement vs exact (%zu samples): fast %.4f  "
+              "int8 %.4f\n",
+              samples, result.fast_top1, result.int8_top1);
+  return result;
 }
 
 // ------------------------------------------------------------- co-hosting
@@ -330,10 +420,17 @@ CoHostResult RunSharedHost(
   return result;
 }
 
-void RunCoHostSweep(const char* net, const std::vector<std::size_t>& counts,
-                    std::size_t workers, std::size_t max_batch,
-                    double seconds) {
+struct CoHostRow {
+  std::size_t models = 0;
+  double separate_rps = 0.0;
+  double shared_rps = 0.0;
+};
+
+std::vector<CoHostRow> RunCoHostSweep(
+    const char* net, const std::vector<std::size_t>& counts,
+    std::size_t workers, std::size_t max_batch, double seconds) {
   using namespace milr;
+  std::vector<CoHostRow> rows;
   std::printf("co-hosting sweep (net=%s, %zu total workers, max_batch=%zu, "
               "scrubber on): shared ServingHost vs N engines on the same "
               "core budget\n",
@@ -361,7 +458,95 @@ void RunCoHostSweep(const char* net, const std::vector<std::size_t>& counts,
                     ? shared.aggregate_rps / separate.aggregate_rps
                     : 0.0,
                 shared.min_rps, shared.max_rps);
+    rows.push_back(CoHostRow{n, separate.aggregate_rps,
+                             shared.aggregate_rps});
   }
+  return rows;
+}
+
+// ------------------------------------------------------------ JSON output
+//
+// --json writes BENCH_runtime.json: every number the text report prints,
+// machine-readable, so CI can archive the perf trajectory per commit
+// (QPS, p99, per-call kernel times, top-1 agreement) instead of letting
+// it scroll away in build logs.
+
+struct PhaseRow {
+  const char* kernel = "";
+  std::size_t max_batch = 0;
+  PhaseResult r;
+};
+
+void WriteBenchJson(const char* path, const char* net, bool smoke,
+                    std::size_t clients, std::size_t workers,
+                    double seconds, double weight_mb,
+                    const std::vector<ModelSweepRow>& sweep,
+                    const AgreementResult& agreement,
+                    const std::vector<PhaseRow>& phases,
+                    const std::vector<CoHostRow>& cohost) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"runtime_throughput\",\n"
+               "  \"net\": \"%s\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"clients\": %zu,\n"
+               "  \"workers\": %zu,\n"
+               "  \"phase_seconds\": %g,\n"
+               "  \"weight_mb_fp32\": %.3f,\n",
+               net, smoke ? "true" : "false", clients, workers, seconds,
+               weight_mb);
+  std::fprintf(f, "  \"model_sweep\": [");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ModelSweepRow& row = sweep[i];
+    std::fprintf(
+        f,
+        "%s\n    {\"batch\": %zu, \"exact_ms_per_call\": %.6f, "
+        "\"fast_ms_per_call\": %.6f, \"int8_ms_per_call\": %.6f, "
+        "\"fast_over_exact\": %.4f, \"int8_over_fast\": %.4f}",
+        i == 0 ? "" : ",", row.batch, row.per_call[0] * 1e3,
+        row.per_call[1] * 1e3, row.per_call[2] * 1e3,
+        row.per_call[1] > 0.0 ? row.per_call[0] / row.per_call[1] : 0.0,
+        row.per_call[2] > 0.0 ? row.per_call[1] / row.per_call[2] : 0.0);
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f,
+               "  \"top1_agreement\": {\"samples\": %zu, "
+               "\"fast_vs_exact\": %.6f, \"int8_vs_exact\": %.6f},\n",
+               agreement.samples, agreement.fast_top1,
+               agreement.int8_top1);
+  std::fprintf(f, "  \"phases\": [");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseRow& row = phases[i];
+    std::fprintf(f,
+                 "%s\n    {\"kernel\": \"%s\", \"max_batch\": %zu, "
+                 "\"qps\": %.3f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"mean_batch\": %.3f, \"batch_service_ms\": %.4f, "
+                 "\"scrub_cycles\": %llu}",
+                 i == 0 ? "" : ",", row.kernel, row.max_batch, row.r.rps,
+                 row.r.p50, row.r.p99, row.r.mean_batch, row.r.batch_ms,
+                 row.r.scrub_cycles);
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"cohost\": [");
+  for (std::size_t i = 0; i < cohost.size(); ++i) {
+    const CoHostRow& row = cohost[i];
+    std::fprintf(f,
+                 "%s\n    {\"models\": %zu, \"separate_qps\": %.3f, "
+                 "\"shared_qps\": %.3f, \"shared_over_separate\": %.4f}",
+                 i == 0 ? "" : ",", row.models, row.separate_rps,
+                 row.shared_rps,
+                 row.separate_rps > 0.0
+                     ? row.shared_rps / row.separate_rps
+                     : 0.0);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
@@ -369,8 +554,10 @@ void RunCoHostSweep(const char* net, const std::vector<std::size_t>& counts,
 int main(int argc, char** argv) {
   using namespace milr;
   bool smoke = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
 
   const char* net = std::getenv("MILR_NET");
@@ -396,13 +583,20 @@ int main(int argc, char** argv) {
     probes.push_back(RandomTensor(model.input_shape(), probe_prng));
   }
 
-  RunModelSweep(model, batches, smoke ? 0.1 : 0.5);
+  const std::vector<ModelSweepRow> sweep =
+      RunModelSweep(model, batches, smoke ? 0.1 : 0.5);
+  const AgreementResult agreement =
+      MeasureAgreement(model, smoke ? 64 : 256);
 
-  // exact first (the baseline), then fast; per-batch results are kept so
-  // the final table prints the fast-vs-exact speedup at equal batch size.
+  // exact first (the baseline), then fast, then int8; per-batch results
+  // are kept so the final table prints the fast/exact and int8/fast
+  // speedups at equal batch size.
   std::vector<PhaseResult> exact_results;
+  std::vector<PhaseResult> fast_results;
+  std::vector<PhaseRow> phase_rows;
   for (const nn::KernelConfig kernel :
-       {nn::KernelConfig::kExact, nn::KernelConfig::kFast}) {
+       {nn::KernelConfig::kExact, nn::KernelConfig::kFast,
+        nn::KernelConfig::kInt8}) {
     std::printf("kernel=%s\n", nn::KernelConfigName(kernel));
     double batch1_rps = 0.0;
     for (std::size_t bi = 0; bi < batches.size(); ++bi) {
@@ -418,11 +612,17 @@ int main(int argc, char** argv) {
                   r.mean_batch, r.batch_ms, r.scrub_cycles);
       if (kernel == nn::KernelConfig::kExact) {
         exact_results.push_back(r);
-      } else if (bi < exact_results.size() &&
-                 exact_results[bi].rps > 0.0) {
-        std::printf("  fast/exact=%.2fx", r.rps / exact_results[bi].rps);
+      } else if (kernel == nn::KernelConfig::kFast) {
+        fast_results.push_back(r);
+        if (bi < exact_results.size() && exact_results[bi].rps > 0.0) {
+          std::printf("  fast/exact=%.2fx", r.rps / exact_results[bi].rps);
+        }
+      } else if (bi < fast_results.size() && fast_results[bi].rps > 0.0) {
+        std::printf("  int8/fast=%.2fx", r.rps / fast_results[bi].rps);
       }
       std::printf("\n");
+      phase_rows.push_back(
+          PhaseRow{nn::KernelConfigName(kernel), max_batch, r});
     }
   }
 
@@ -431,6 +631,14 @@ int main(int argc, char** argv) {
   // pool keeps paying off as co-tenancy grows.
   const std::vector<std::size_t> cohost_counts =
       smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
-  RunCoHostSweep(net, cohost_counts, workers, /*max_batch=*/8, seconds);
+  const std::vector<CoHostRow> cohost =
+      RunCoHostSweep(net, cohost_counts, workers, /*max_batch=*/8, seconds);
+
+  if (json) {
+    WriteBenchJson("BENCH_runtime.json", net, smoke, clients, workers,
+                   seconds,
+                   static_cast<double>(model.TotalParamBytes()) / 1e6,
+                   sweep, agreement, phase_rows, cohost);
+  }
   return 0;
 }

@@ -2,12 +2,14 @@
 //
 // Real deployments co-host models: one machine, one worker pool, N models
 // with independent protection domains. This example stands up a host with
-// two models — a convolutional classifier and a dense scorer — serves
-// traffic to both, corrupts each one in turn while the other keeps
-// serving, and lets the single background scrubber heal them online. The
-// per-model snapshots show downtime charged only to the model that was
-// quarantined; the weight knob shows deficit-round-robin shaping the
-// shared pool.
+// three models — a convolutional classifier (exact tier), a dense scorer
+// (fast fp32 tier) and a dense ranker served from the int8 quantized tier
+// — serves traffic to all, corrupts each in turn while the others keep
+// serving, and lets the single background scrubber heal them online (the
+// int8 model's quantized panels are rebuilt from the recovered fp32
+// master automatically). The per-model snapshots show downtime charged
+// only to the model that was quarantined; the weight knob shows
+// deficit-round-robin shaping the shared pool.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/multi_model_serving
@@ -40,9 +42,18 @@ int main() {
   scorer.AddDense(8).AddBias();
   nn::InitHeUniform(scorer, /*seed=*/2);
 
-  // 2. One host: shared worker pool, one scrubber sweeping both models.
+  nn::Model ranker(Shape{128});
+  ranker.AddDense(96).AddBias().AddReLU();
+  ranker.AddDense(96).AddBias().AddReLU();
+  ranker.AddDense(16).AddBias();
+  nn::InitHeUniform(ranker, /*seed=*/3);
+
+  // 2. One host: shared worker pool, one scrubber sweeping every model.
   //    The scorer gets half the vision model's scheduler weight — under
-  //    contention its backlog drains in half-sized grants.
+  //    contention its backlog drains in half-sized grants. Each model
+  //    picks its own kernel tier: the ranker serves from the int8
+  //    quantized replica (the memory-bound pick), the scorer from the
+  //    fast fp32 panels, the vision net from the bit-exact baseline.
   runtime::ServingHostConfig host_config;
   host_config.scrub_period = 10ms;
   runtime::ServingHost host(host_config);
@@ -53,30 +64,43 @@ int main() {
 
   runtime::ModelRuntimeConfig scorer_config;
   scorer_config.weight = 0.5;
+  scorer_config.kernel = nn::KernelConfig::kFast;
   auto scorer_handle = host.AddModel(scorer, scorer_config, "scorer");
 
+  runtime::ModelRuntimeConfig ranker_config;
+  ranker_config.kernel = nn::KernelConfig::kInt8;
+  auto ranker_handle = host.AddModel(ranker, ranker_config, "ranker");
+
   host.Start();
-  std::printf("host: %zu workers, %zu models (vision w=1.0, scorer w=0.5)\n",
+  std::printf("host: %zu workers, %zu models (vision exact w=1.0, scorer "
+              "fast w=0.5, ranker int8 w=1.0)\n",
               host.worker_threads(), host.models().size());
 
-  // 3. Serve clean traffic to both.
+  // 3. Serve clean traffic to all three tiers.
   Prng prng(99);
   const Tensor vision_probe = RandomTensor(vision.input_shape(), prng);
   const Tensor scorer_probe = RandomTensor(scorer.input_shape(), prng);
+  const Tensor ranker_probe = RandomTensor(ranker.input_shape(), prng);
   const Tensor vision_clean = vision_handle->Predict(vision_probe);
   const Tensor scorer_clean = scorer_handle->Predict(scorer_probe);
+  const Tensor ranker_clean = ranker_handle->Predict(ranker_probe);
   for (int i = 0; i < 200; ++i) {
     vision_handle->Predict(vision_probe);
     scorer_handle->Predict(scorer_probe);
+    ranker_handle->Predict(ranker_probe);
   }
-  std::printf("served %llu + %llu clean requests\n",
+  std::printf("served %llu + %llu + %llu clean requests\n",
               static_cast<unsigned long long>(
                   vision_handle->Snapshot().requests_served),
               static_cast<unsigned long long>(
-                  scorer_handle->Snapshot().requests_served));
+                  scorer_handle->Snapshot().requests_served),
+              static_cast<unsigned long long>(
+                  ranker_handle->Snapshot().requests_served));
 
   // 4. Corrupt each model in turn; the scrubber heals them online while
-  //    the other model keeps serving from its own (untouched) lock domain.
+  //    the others keep serving from their own (untouched) lock domains.
+  //    For the int8 ranker the recovery also invalidates its quantized
+  //    panels — the next serve requantizes from the repaired fp32 master.
   Prng attack(7);
   vision_handle->InjectFault([&](nn::Model& live) {
     return memory::CorruptWholeLayer(live, /*layer_index=*/0, attack);
@@ -84,15 +108,20 @@ int main() {
   scorer_handle->InjectFault([&](nn::Model& live) {
     return memory::CorruptWholeLayer(live, /*layer_index=*/0, attack);
   });
+  ranker_handle->InjectFault([&](nn::Model& live) {
+    return memory::CorruptWholeLayer(live, /*layer_index=*/0, attack);
+  });
   std::printf("corrupted one whole layer in each model; scrubbing...\n");
 
   const auto deadline = std::chrono::steady_clock::now() + 30s;
   while ((vision_handle->Snapshot().recoveries < 1 ||
-          scorer_handle->Snapshot().recoveries < 1) &&
+          scorer_handle->Snapshot().recoveries < 1 ||
+          ranker_handle->Snapshot().recoveries < 1) &&
          std::chrono::steady_clock::now() < deadline) {
     // Traffic keeps flowing during detection and quarantine.
     vision_handle->Predict(vision_probe);
     scorer_handle->Predict(scorer_probe);
+    ranker_handle->Predict(ranker_probe);
     std::this_thread::sleep_for(1ms);
   }
 
@@ -100,10 +129,13 @@ int main() {
       MaxAbsDiff(vision_handle->Predict(vision_probe), vision_clean);
   const float scorer_dev =
       MaxAbsDiff(scorer_handle->Predict(scorer_probe), scorer_clean);
+  const float ranker_dev =
+      MaxAbsDiff(ranker_handle->Predict(ranker_probe), ranker_clean);
   std::printf("after online recovery: vision deviation %.5f, scorer "
-              "deviation %.5f\n",
+              "deviation %.5f, ranker (int8) deviation %.5f\n",
               static_cast<double>(vision_dev),
-              static_cast<double>(scorer_dev));
+              static_cast<double>(scorer_dev),
+              static_cast<double>(ranker_dev));
 
   // 5. Per-model accounting: downtime belongs to the quarantined model.
   for (const auto& handle : host.models()) {

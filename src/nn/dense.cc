@@ -39,10 +39,16 @@ Tensor DenseLayer::Forward(const Tensor& input) const {
 
 void DenseLayer::set_kernel_config(KernelConfig config) {
   Layer::set_kernel_config(config);
-  // Pack once on entry to the fast tier instead of on the first serve, so
-  // the cost lands at configuration time (engine construction) and never
-  // inside a latency-sensitive request.
+  // Warm the tier's weight cache on entry instead of on the first serve,
+  // so the cost lands at configuration time (engine construction) and
+  // never inside a latency-sensitive request.
   if (config == KernelConfig::kFast) PackedWeightsOrNull();
+  if (config == KernelConfig::kInt8 && Int8WeightsOrNull() == nullptr) {
+    // Depth guard tripped: this layer will serve the kFast fallback, so
+    // warm THAT cache instead — the cost must still land here, not
+    // inside the first request.
+    PackedWeightsOrNull();
+  }
 }
 
 const float* DenseLayer::PackedWeightsOrNull() const {
@@ -59,11 +65,76 @@ const float* DenseLayer::PackedWeightsOrNull() const {
   return packed_b_.data();
 }
 
+const quant::Int8ServingWeights* DenseLayer::Int8WeightsOrNull() const {
+  // Past this depth the int32 accumulator could overflow; no dense layer
+  // here is near it, but the guard keeps the tier's exactness contract
+  // honest rather than silently wrong.
+  if (in_features_ > quant::kInt8MaxDepth) return nullptr;
+  if (!int8_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    if (!int8_valid_.load(std::memory_order_relaxed)) {
+      int8_weights_ = quant::PrepareInt8ServingWeights(
+          weights_.data(), in_features_, out_features_);
+      int8_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return &int8_weights_;
+}
+
+void DenseLayer::ForwardInt8Block(const quant::Int8ServingWeights& qw,
+                                  const float* in, float* out,
+                                  std::size_t rows) const {
+  // Thread-local like the fast tier's packing scratch: engine workers and
+  // ParallelFor row blocks quantize their activations concurrently without
+  // shared state. Rows are padded to the k-pair stride with zeros, which
+  // the integer kernel's zero B-padding turns into exact no-ops.
+  const std::size_t astride = quant::Int8PaddedDepth(in_features_);
+  thread_local std::vector<std::int16_t> aq;
+  thread_local std::vector<float> row_scales;
+  if (aq.size() < rows * astride) aq.resize(rows * astride);
+  if (row_scales.size() < rows) row_scales.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int16_t* arow = aq.data() + r * astride;
+    row_scales[r] = quant::QuantizeActivationRow(in + r * in_features_,
+                                                 in_features_, arow);
+    for (std::size_t p = in_features_; p < astride; ++p) arow[p] = 0;
+  }
+  quant::GemmInt8Dequant(aq.data(), astride, row_scales.data(),
+                         qw.panels.data(), qw.scales.data(), out, rows,
+                         in_features_, out_features_);
+}
+
 Tensor DenseLayer::ForwardWith(const Tensor& input,
                                KernelConfig kernel) const {
   CheckInput(input.shape());
   const std::size_t rows = input.shape().rank() == 1 ? 1 : input.shape()[0];
   Tensor out(OutputShape(input.shape()));
+  // Int8 tier: serve from the cached quantized replica. One
+  // requantization per weight mutation (recovery, injection, training),
+  // shared by every row block and concurrent reader — exactly the packed
+  // fp32 panel cache's discipline, with 4x fewer weight bytes streamed
+  // per GEMM. Falls through to kFast when the depth guard trips.
+  if (kernel == KernelConfig::kInt8) {
+    if (const quant::Int8ServingWeights* qw = Int8WeightsOrNull()) {
+      if (rows < 32) {
+        ForwardInt8Block(*qw, input.data(), out.data(), rows);
+      } else {
+        // Initialization-sized inputs (MILR's (N,N) PRNG systems never
+        // come here — they use per-sample Forward — but large client
+        // batches do): parallelize across row blocks like the fp32 path.
+        constexpr std::size_t kBlock = 16;
+        const std::size_t blocks = (rows + kBlock - 1) / kBlock;
+        ParallelFor(0, blocks, [&](std::size_t b) {
+          const std::size_t begin = b * kBlock;
+          const std::size_t count = std::min(kBlock, rows - begin);
+          ForwardInt8Block(*qw, input.data() + begin * in_features_,
+                           out.data() + begin * out_features_, count);
+        });
+      }
+      return out;
+    }
+    kernel = KernelConfig::kFast;
+  }
   // Fast tier: serve from the cached packed weight panels. One pack per
   // weight mutation, shared by every row block and every concurrent reader
   // — the per-call (and previously per-16-row-block) B repack is gone.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "quant/gemm_int8.h"
 
 namespace milr::nn {
 
@@ -36,16 +37,21 @@ class DenseLayer final : public Layer {
                   std::span<float> dparams) const override;
   /// The mutable span is the fault domain: every writer (fault injectors,
   /// MILR recovery, training, deserialization, Model::RestoreParams) goes
-  /// through it, so handing it out conservatively invalidates the packed
-  /// fast-tier weight panels — the next fast ForwardBatch re-packs once.
+  /// through it, so handing it out conservatively invalidates BOTH derived
+  /// weight caches — the packed fast-tier fp32 panels and the int8
+  /// quantized panels. The next fast/int8 ForwardBatch rebuilds its cache
+  /// once from the (possibly recovered) fp32 master; this is what makes
+  /// MILR recovery, fault injection and training each trigger exactly one
+  /// requantization.
   std::span<float> Params() override {
     InvalidatePackedWeights();
     return weights_.flat();
   }
   std::span<const float> Params() const override { return weights_.flat(); }
 
-  /// Packs the weight panels once when entering the fast tier, so serving
-  /// never pays a per-row-block B repack (ROADMAP follow-on from PR 3).
+  /// Packs the weight panels once when entering the fast tier (ROADMAP
+  /// follow-on from PR 3) and quantizes them once when entering the int8
+  /// tier, so serving never pays a per-request repack/requantization.
   void set_kernel_config(KernelConfig config) override;
 
   std::size_t in_features() const { return in_features_; }    // N
@@ -63,6 +69,12 @@ class DenseLayer final : public Layer {
     return packed_valid_.load(std::memory_order_acquire);
   }
 
+  /// True while the int8 quantized panel cache matches weights_ (the
+  /// requantization tests pin the invalidate-on-mutate contract with it).
+  bool int8_weights_valid() const {
+    return int8_valid_.load(std::memory_order_acquire);
+  }
+
  private:
   void CheckInput(const Shape& input) const;
   Tensor ForwardWith(const Tensor& input, KernelConfig kernel) const;
@@ -73,8 +85,19 @@ class DenseLayer final : public Layer {
   /// happen on the mutation paths, which the serving layer already runs
   /// under the model's exclusive lock.
   const float* PackedWeightsOrNull() const;
+  /// Int8 analog of PackedWeightsOrNull: lazily requantizes from the fp32
+  /// master under pack_mutex_ (same memory-ordering discipline), or
+  /// nullptr when in_features_ exceeds the int32 accumulator's exact
+  /// range (quant::kInt8MaxDepth) — callers then fall back to kFast.
+  const quant::Int8ServingWeights* Int8WeightsOrNull() const;
+  /// One int8 row block: quantize the activation rows (thread-local
+  /// scratch) and run the packed int8 GEMM + dequantizing epilogue.
+  void ForwardInt8Block(const quant::Int8ServingWeights& qw,
+                        const float* in, float* out,
+                        std::size_t rows) const;
   void InvalidatePackedWeights() {
     packed_valid_.store(false, std::memory_order_release);
+    int8_valid_.store(false, std::memory_order_release);
   }
 
   std::size_t in_features_;
@@ -84,6 +107,8 @@ class DenseLayer final : public Layer {
   mutable std::mutex pack_mutex_;
   mutable std::vector<float> packed_b_;  // PackBPanels layout
   mutable std::atomic<bool> packed_valid_{false};
+  mutable quant::Int8ServingWeights int8_weights_;  // derived int8 replica
+  mutable std::atomic<bool> int8_valid_{false};
 };
 
 }  // namespace milr::nn

@@ -814,11 +814,15 @@ inline void GemmAccumulateFast(const float* a, const float* b, float* c,
 }
 
 /// Tier dispatch for the forward-path GEMM: the serving layers route every
-/// C += A·B through this overload so EngineConfig/Model can choose the tier.
+/// C += A·B through this overload so EngineConfig/Model can choose the
+/// tier. kInt8 lands on the fast fp32 path here: only layers with a
+/// dedicated int8 kernel (DenseLayer, via quant/gemm_int8.h) serve
+/// quantized; every other GEMM under a kInt8 model falls back to kFast so
+/// the setting can never be slower than the fast tier.
 inline void GemmAccumulate(KernelConfig config, const float* a,
                            const float* b, float* c, std::size_t m,
                            std::size_t k, std::size_t n) {
-  if (config == KernelConfig::kFast) {
+  if (config != KernelConfig::kExact) {
     GemmAccumulateFast(a, b, c, m, k, n);
   } else {
     GemmAccumulate(a, b, c, m, k, n);

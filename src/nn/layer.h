@@ -86,8 +86,9 @@ class Layer {
   /// detect / recover passes are unaffected by this setting. Set through
   /// Model::set_kernel_config; must not be flipped while a ForwardBatch is
   /// in flight (the engine only sets it at construction). Virtual so layers
-  /// with tier-specific caches (DenseLayer packs its weight panels for the
-  /// fast tier) can warm them exactly once here instead of per forward.
+  /// with tier-specific caches (DenseLayer packs fp32 weight panels for
+  /// the fast tier and a quantized int8 replica for the int8 tier) can
+  /// warm them exactly once here instead of per forward.
   KernelConfig kernel_config() const { return kernel_config_; }
   virtual void set_kernel_config(KernelConfig config) {
     kernel_config_ = config;

@@ -46,10 +46,12 @@ class Model {
   /// layer, including layers added later. kExact (the default) keeps
   /// PredictBatch bit-identical to per-sample Predict under the reference
   /// kernels; kFast serves from the packed k-blocked kernels and is only
-  /// tolerance-equivalent. MILR init/detect/recover always run exact (they
-  /// use the per-sample Layer::Forward entry points), so protection
-  /// semantics do not depend on this setting. Not thread-safe against
-  /// in-flight predictions — configure before serving starts.
+  /// tolerance-equivalent; kInt8 serves dense layers from a quantized
+  /// int8 weight replica (see nn/kernel_config.h). MILR
+  /// init/detect/recover always run exact (they use the per-sample
+  /// Layer::Forward entry points), so protection semantics do not depend
+  /// on this setting. Not thread-safe against in-flight predictions —
+  /// configure before serving starts.
   void set_kernel_config(KernelConfig config);
   KernelConfig kernel_config() const { return kernel_config_; }
 

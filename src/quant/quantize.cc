@@ -1,0 +1,80 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace milr::quant {
+
+QuantizedWeights QuantizeWeights(const float* b, std::size_t k,
+                                 std::size_t n) {
+  QuantizedWeights q;
+  q.k = k;
+  q.n = n;
+  q.values.resize(k * n);
+  q.scales.resize(n);
+
+  // Pass 1: per-output-column maxabs over the finite weights only. A
+  // corrupted Inf would otherwise set scale = Inf and quantize the whole
+  // column to 0 — saturating the one bad weight keeps the rest faithful.
+  for (std::size_t j = 0; j < n; ++j) {
+    float maxabs = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float w = b[p * n + j];
+      if (std::isfinite(w)) maxabs = std::max(maxabs, std::fabs(w));
+    }
+    // Guard on the DIVIDED scale, not maxabs: an all-denormal column has
+    // maxabs > 0 but maxabs/127 can underflow to 0, and dividing by that
+    // scale below would raise Inf out of lrintf. Unit scale quantizes
+    // such a column to all-zero values deterministically.
+    const float scale = maxabs / static_cast<float>(kWeightQuantMax);
+    q.scales[j] = scale > 0.0f ? scale : 1.0f;
+  }
+
+  // Pass 2: round-to-nearest, saturate symmetrically.
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float w = b[p * n + j];
+      std::int32_t v = 0;
+      if (std::isfinite(w)) {
+        v = static_cast<std::int32_t>(std::lrintf(w / q.scales[j]));
+        v = std::clamp(v, -kWeightQuantMax, kWeightQuantMax);
+      }
+      q.values[p * n + j] = static_cast<std::int8_t>(v);
+    }
+  }
+  return q;
+}
+
+void DequantizeWeights(const QuantizedWeights& q, float* out) {
+  for (std::size_t p = 0; p < q.k; ++p) {
+    for (std::size_t j = 0; j < q.n; ++j) {
+      out[p * q.n + j] =
+          static_cast<float>(q.values[p * q.n + j]) * q.scales[j];
+    }
+  }
+}
+
+float QuantizeActivationRow(const float* a, std::size_t k,
+                            std::int16_t* out) {
+  float maxabs = 0.0f;
+  for (std::size_t p = 0; p < k; ++p) {
+    const float v = a[p];
+    if (std::isfinite(v)) maxabs = std::max(maxabs, std::fabs(v));
+  }
+  // Same denormal-underflow guard as QuantizeWeights: test the divided
+  // scale, not maxabs.
+  const float divided = maxabs / static_cast<float>(kActivationQuantMax);
+  const float scale = divided > 0.0f ? divided : 1.0f;
+  for (std::size_t p = 0; p < k; ++p) {
+    const float v = a[p];
+    std::int32_t qv = 0;
+    if (std::isfinite(v)) {
+      qv = std::clamp(static_cast<std::int32_t>(std::lrintf(v / scale)),
+                      -kActivationQuantMax, kActivationQuantMax);
+    }
+    out[p] = static_cast<std::int16_t>(qv);
+  }
+  return scale;
+}
+
+}  // namespace milr::quant

@@ -67,9 +67,13 @@ struct EngineConfig {
   /// GEMM tier for the serving path. kExact keeps served outputs
   /// bit-identical to the reference kernels — the fault-injection
   /// experiments and equivalence oracles assume it. kFast serves from the
-  /// packed k-blocked SIMD kernels (tolerance-equivalent outputs); MILR
-  /// detection/recovery are unaffected either way because the protector's
-  /// passes always run the exact per-sample kernels.
+  /// packed k-blocked SIMD kernels (tolerance-equivalent outputs). kInt8
+  /// serves dense layers from a quantized int8 weight replica
+  /// (quantization-tolerance outputs; the pick for weight sets larger
+  /// than L2, see nn/kernel_config.h). MILR detection/recovery are
+  /// unaffected in every case because the protector's passes always run
+  /// the exact per-sample kernels, and the fast/int8 weight caches are
+  /// rebuilt from the fp32 master after every recovery or injection.
   ///
   /// The engine applies this to the caller-owned model at construction and
   /// does NOT restore the previous value: the model keeps serving this

@@ -62,7 +62,7 @@ Tensor ModelRuntime::Predict(const Tensor& input) {
   return Submit(Tensor(input)).get();
 }
 
-std::size_t ModelRuntime::ServeSome(std::size_t quota) {
+std::size_t ModelRuntime::ServeSome(std::size_t quota, bool allow_linger) {
   const std::size_t max_batch =
       std::clamp<std::size_t>(quota, 1, std::max<std::size_t>(
                                             1, config_.max_batch));
@@ -79,8 +79,9 @@ std::size_t ModelRuntime::ServeSome(std::size_t quota) {
 
   std::vector<Request> batch;
   batch.reserve(max_batch);
-  const std::size_t taken =
-      queue_.TryPopBatch(batch, max_batch, config_.batch_linger);
+  const std::size_t taken = queue_.TryPopBatch(
+      batch, max_batch,
+      allow_linger ? config_.batch_linger : std::chrono::microseconds{0});
   if (taken == 0) return 0;
   // Queue wait (admission -> here, batch formation) is the scheduler
   // fairness observable; from here on the request is in service (lock

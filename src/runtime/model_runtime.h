@@ -51,13 +51,15 @@ struct ModelRuntimeConfig {
   /// shared-lock acquisition. 1 disables batching entirely.
   std::size_t max_batch = 8;
   /// How long a worker holding a partial batch waits for more arrivals
-  /// before serving what it has (see EngineConfig::batch_linger). On a
-  /// SHARED pool this is a cross-model cost: the lingering worker is
-  /// parked on this model's queue even while co-hosted models have
-  /// backlog, so with few workers a non-zero linger here adds up to that
-  /// linger to peers' queue wait per grant. Keep it 0 (the default) for
-  /// co-hosted latency-sensitive serving, or size the pool so at least
-  /// one worker stays free.
+  /// before serving what it has (see EngineConfig::batch_linger). The
+  /// shared pool is scheduler-aware about it: when any co-hosted peer has
+  /// backlog AT GRANT TIME the worker skips the linger entirely and
+  /// serves the partial batch at once. That closes the standing
+  /// cross-model tax a non-zero linger used to impose, but it is a
+  /// grant-time sample, not a continuous one: a peer request arriving
+  /// mid-linger still waits out the remainder of the window (bounded by
+  /// this value) before that worker frees up. Size it with that worst
+  /// case in mind on small pools.
   std::chrono::microseconds batch_linger{0};
   /// GEMM tier for this model's serving path (see EngineConfig::kernel).
   /// Applied to the caller-owned model at runtime construction and not
@@ -102,10 +104,14 @@ class ModelRuntime {
   // ----------------------------------------------------------- worker API
 
   /// Drains up to min(quota, max_batch) queued requests and serves them as
-  /// one micro-batch (honoring batch_linger). Returns the number of
-  /// requests served; 0 when the queue was empty (never blocks on empty).
-  /// Called by pool workers holding a scheduler grant.
-  std::size_t ServeSome(std::size_t quota);
+  /// one micro-batch. Returns the number of requests served; 0 when the
+  /// queue was empty (never blocks on empty). Called by pool workers
+  /// holding a scheduler grant. `allow_linger` gates batch_linger: the
+  /// pool passes false when the scheduler sees other runtimes with
+  /// backlog, so a worker never parks on this model's partial batch while
+  /// co-hosted peers have work (the cross-model latency cost documented
+  /// on ModelRuntimeConfig::batch_linger).
+  std::size_t ServeSome(std::size_t quota, bool allow_linger = true);
 
   // ------------------------------------------------- protection & faults
 
@@ -145,6 +151,10 @@ class ModelRuntime {
            in_flight_.load(std::memory_order_acquire) == 0;
   }
   std::size_t QueueDepth() const { return queue_.size(); }
+  /// Advisory backlog for the scheduler's scan: no queue mutex taken (see
+  /// BoundedQueue::DepthRelaxed), so NextWork's per-entry visit is
+  /// lock-free and never serializes against this runtime's producers.
+  std::size_t QueueDepthRelaxed() const { return queue_.DepthRelaxed(); }
 
   /// The scheduler this runtime signals on new work; set by ServingHost
   /// at registration. Held weakly: a handle that outlives the host (or

@@ -7,6 +7,7 @@
 // layer needs that the batch experiments never did.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -44,6 +45,7 @@ class BoundedQueue {
     if (closed_) return false;
     on_admit(item);
     items_.push_back(std::move(item));
+    PublishDepth();
     not_empty_.notify_one();
     return true;
   }
@@ -54,6 +56,7 @@ class BoundedQueue {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
+    PublishDepth();
     not_empty_.notify_one();
     return true;
   }
@@ -66,6 +69,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    PublishDepth();
     not_full_.notify_one();
     return item;
   }
@@ -90,6 +94,7 @@ class BoundedQueue {
       while (!items_.empty() && taken < max_items) {
         out.push_back(std::move(items_.front()));
         items_.pop_front();
+        PublishDepth();
         ++taken;
         not_full_.notify_one();
       }
@@ -136,14 +141,35 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Lock-free approximate depth: a relaxed read of a counter every
+  /// mutation republishes under the queue mutex. For ADVISORY consumers
+  /// only — the scheduler's backlog scan reads every co-hosted queue per
+  /// grant, and taking each queue's mutex there serialized the scan
+  /// against all producers as models x workers grew. A scan may see a
+  /// depth one mutation stale; the DRR grant it produces was already
+  /// advisory (the worker's pop re-checks under the real lock), so
+  /// staleness costs at most one wasted visit. Anything that needs an
+  /// exact answer ordered against other state (Drained's queue-empty +
+  /// in-flight reasoning) must keep using size().
+  std::size_t DepthRelaxed() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Callers hold mutex_, so the counter always republishes the exact
+  /// deque size; relaxed suffices because readers tolerate staleness.
+  void PublishDepth() {
+    depth_.store(items_.size(), std::memory_order_relaxed);
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::atomic<std::size_t> depth_{0};
   bool closed_ = false;
 };
 

@@ -57,7 +57,12 @@ std::optional<Scheduler::Grant> Scheduler::NextWork() {
       Entry& entry = entries_[cursor_];
       const auto advance = [&] { cursor_ = (cursor_ + 1) % entries_.size(); };
 
-      const std::size_t pending = entry.runtime->QueueDepth();
+      // Relaxed depth: the scan visits every co-hosted queue per grant,
+      // and the old locked read serialized it against all producers. A
+      // stale depth either wastes one visit (saw backlog, pop finds none
+      // — the grant was always advisory) or skips one (saw empty just
+      // before a push — the push's NotifyWork re-wakes the scan).
+      const std::size_t pending = entry.runtime->QueueDepthRelaxed();
       if (pending == 0) {
         // Classic DRR: an empty queue forfeits its credit, so an idle
         // model cannot bank a burst that would later starve its peers.
@@ -105,14 +110,14 @@ std::optional<Scheduler::Grant> Scheduler::NextWork() {
       // that many times, and the next scan is guaranteed to grant.
       double rounds = 0.0;
       for (const Entry& entry : entries_) {
-        if (entry.runtime->QueueDepth() == 0) continue;
+        if (entry.runtime->QueueDepthRelaxed() == 0) continue;
         const double needed =
             std::ceil((1.0 - entry.deficit) / quantum_of(entry));
         if (rounds == 0.0 || needed < rounds) rounds = needed;
       }
       if (rounds > 0.0) {
         for (Entry& entry : entries_) {
-          if (entry.runtime->QueueDepth() == 0) continue;
+          if (entry.runtime->QueueDepthRelaxed() == 0) continue;
           const double quantum = quantum_of(entry);
           entry.deficit = std::min(entry.deficit + rounds * quantum,
                                    std::max(2.0 * quantum, 1.0));
@@ -124,6 +129,15 @@ std::optional<Scheduler::Grant> Scheduler::NextWork() {
     work_cv_.wait(lock,
                   [&] { return work_epoch_ != seen || shutdown_; });
   }
+}
+
+bool Scheduler::HasPendingOther(const ModelRuntime* self) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry.runtime.get() == self) continue;
+    if (entry.runtime->QueueDepthRelaxed() > 0) return true;
+  }
+  return false;
 }
 
 void Scheduler::NotifyWork() {
@@ -216,7 +230,15 @@ void WorkerPool::WorkerLoop() {
   while (auto grant = scheduler_->NextWork()) {
     std::size_t served = 0;
     try {
-      served = grant->runtime->ServeSome(grant->quota);
+      // Scheduler-aware linger: lingering on this model's partial batch
+      // is only free when no co-hosted peer is waiting for this thread.
+      // Only consult the scheduler when a linger is actually configured —
+      // with the default 0 the answer cannot change ServeSome's behavior,
+      // and the scan would re-add per-grant scheduler-mutex traffic.
+      const bool allow_linger =
+          grant->runtime->config().batch_linger.count() == 0 ||
+          !scheduler_->HasPendingOther(grant->runtime.get());
+      served = grant->runtime->ServeSome(grant->quota, allow_linger);
     } catch (...) {
       // Serve-path exceptions are routed into request promises inside
       // ServeBatch; anything that still escapes (allocation failure in

@@ -71,6 +71,12 @@ class Scheduler {
   /// Wakes a worker: some runtime's queue just gained a request.
   void NotifyWork();
 
+  /// True when any runtime OTHER than `self` has backlog right now (a
+  /// relaxed-depth scan, same staleness contract as NextWork's). Workers
+  /// consult it to skip batch_linger while peers wait (see
+  /// ModelRuntime::ServeSome).
+  bool HasPendingOther(const ModelRuntime* self) const;
+
   /// Settles a finished grant: refunds the deficit credit for the
   /// requests the grant charged but the worker did not actually pop
   /// (another worker raced it to the queue), making the DRR accounting

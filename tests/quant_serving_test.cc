@@ -1,0 +1,173 @@
+// The int8 tier's MILR story, end to end: an int8-served model takes a
+// live fault, online MILR recovery repairs the fp32 master, and the
+// quantized serving panels are invalidated and rebuilt FROM the recovered
+// master — proven by bit-for-bit agreement between served outputs and a
+// freshly quantized copy of the recovered model. Also pins the ServingHost
+// co-hosting of all three kernel tiers on one worker pool.
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "memory/fault_injector.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/model.h"
+#include "runtime/engine.h"
+#include "runtime/serving_host.h"
+#include "support/prng.h"
+
+namespace milr::runtime {
+namespace {
+
+/// Dense-only topology: every parameterized layer is either MILR-solvable
+/// dense or bias, and layer 0 (the corruption target) is a DenseLayer
+/// whose int8 cache the test observes directly.
+nn::Model DenseModel() {
+  nn::Model model(Shape{32});
+  model.AddDense(48).AddBias().AddReLU();
+  model.AddDense(32).AddBias().AddReLU();
+  model.AddDense(10).AddBias();
+  nn::InitHeUniform(model, /*seed=*/7);
+  return model;
+}
+
+std::vector<Tensor> Probes(const nn::Model& model, std::size_t count) {
+  Prng prng(3);
+  std::vector<Tensor> probes;
+  for (std::size_t i = 0; i < count; ++i) {
+    probes.push_back(RandomTensor(model.input_shape(), prng));
+  }
+  return probes;
+}
+
+TEST(QuantServingTest, MilrRecoveryRebuildsInt8PanelsFromRecoveredMaster) {
+  nn::Model model = DenseModel();
+  const auto probes = Probes(model, 4);
+
+  EngineConfig config;
+  config.scrubber_enabled = false;  // scrub synchronously, deterministic
+  config.worker_threads = 2;
+  config.kernel = nn::KernelConfig::kInt8;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  const auto* dense = dynamic_cast<const nn::DenseLayer*>(&model.layer(0));
+  ASSERT_NE(dense, nullptr);
+  // Engine construction applied the tier and warmed the quantized cache.
+  ASSERT_TRUE(dense->int8_weights_valid());
+
+  std::vector<Tensor> clean;
+  for (const auto& probe : probes) clean.push_back(engine.Predict(probe));
+
+  // Live fault into the dense layer's weights. The injection goes through
+  // the mutable Params() span, which must invalidate the int8 replica.
+  Prng prng(17);
+  const auto injection = engine.InjectFault([&](nn::Model& live) {
+    return memory::CorruptWholeLayer(live, 0, prng);
+  });
+  ASSERT_GT(injection.corrupted_weights, 0u);
+  EXPECT_FALSE(dense->int8_weights_valid());
+
+  // Serving from the corrupted master requantizes ONCE (from the corrupt
+  // weights — the replica is a faithful cache, not a mask) and the
+  // outputs move.
+  const Tensor corrupted = engine.Predict(probes[0]);
+  EXPECT_TRUE(dense->int8_weights_valid());
+  bool moved = false;
+  for (std::size_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted[i] != clean[0][i]) moved = true;
+  }
+  EXPECT_TRUE(moved) << "whole-layer corruption did not change outputs";
+
+  // Online MILR recovery: detect + quarantine + repair the fp32 master.
+  const auto report = engine.ScrubNow();
+  ASSERT_GE(report.flagged_layers, 1u);
+  ASSERT_GE(report.recovered_layers, 1u);
+  ASSERT_TRUE(report.recovery_ok);
+  // Recovery wrote the repaired weights through Params(): the quantized
+  // panels from the corrupted epoch must be gone.
+  EXPECT_FALSE(dense->int8_weights_valid());
+
+  std::vector<Tensor> served;
+  for (const auto& probe : probes) served.push_back(engine.Predict(probe));
+  EXPECT_TRUE(dense->int8_weights_valid());
+
+  // The proof: a fresh model restored to the RECOVERED master and freshly
+  // quantized must reproduce the served outputs bit-for-bit. (The int8
+  // tier is deterministic across dispatch/threading, so bit-equality is
+  // the correct assertion — it can only hold if the served panels were
+  // rebuilt from exactly the recovered weights.)
+  std::vector<std::vector<float>> recovered;
+  engine.WithModelExclusive(
+      [&](nn::Model& live) { recovered = live.SnapshotParams(); });
+  nn::Model fresh = DenseModel();
+  fresh.RestoreParams(recovered);
+  fresh.set_kernel_config(nn::KernelConfig::kInt8);
+  for (std::size_t s = 0; s < probes.size(); ++s) {
+    const Tensor want = fresh.Predict(probes[s]);
+    ASSERT_EQ(want.size(), served[s].size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(served[s][i], want[i]) << "probe " << s << " output " << i;
+    }
+  }
+
+  // And the recovered master really is repaired: int8 serving agrees with
+  // the clean epoch again (quantization tolerance, not bit-equality —
+  // MILR recovery leaves float-rounding residue in the master).
+  for (std::size_t i = 0; i < served[0].size(); ++i) {
+    EXPECT_NEAR(served[0][i], clean[0][i], 5e-2f);
+  }
+  engine.Stop();
+}
+
+TEST(QuantServingTest, HostCoHostsAllThreeKernelTiers) {
+  // One shared pool serving fp32-exact, fp32-fast and int8 models at
+  // once: the per-model kernel plumbing the ISSUE names. Each tier's
+  // outputs are checked against its own oracle.
+  nn::Model exact_model = DenseModel();
+  nn::Model fast_model = DenseModel();
+  nn::Model int8_model = DenseModel();
+  const auto probes = Probes(exact_model, 6);
+
+  // Oracles before serving starts (golden state, default exact tier).
+  std::vector<Tensor> exact_want;
+  for (const auto& probe : probes) {
+    exact_want.push_back(exact_model.Predict(probe));
+  }
+
+  ServingHostConfig host_config;
+  host_config.worker_threads = 3;
+  host_config.scrub_period = std::chrono::milliseconds(10);
+  ServingHost host(host_config);
+  ModelRuntimeConfig exact_cfg, fast_cfg, int8_cfg;
+  exact_cfg.kernel = nn::KernelConfig::kExact;
+  fast_cfg.kernel = nn::KernelConfig::kFast;
+  int8_cfg.kernel = nn::KernelConfig::kInt8;
+  auto exact_handle = host.AddModel(exact_model, exact_cfg, "exact");
+  auto fast_handle = host.AddModel(fast_model, fast_cfg, "fast");
+  auto int8_handle = host.AddModel(int8_model, int8_cfg, "int8");
+  host.Start();
+
+  // int8 oracle: an identical, freshly quantized standalone model.
+  nn::Model int8_oracle = DenseModel();
+  int8_oracle.set_kernel_config(nn::KernelConfig::kInt8);
+
+  for (std::size_t s = 0; s < probes.size(); ++s) {
+    const Tensor exact_got = exact_handle->Predict(probes[s]);
+    const Tensor fast_got = fast_handle->Predict(probes[s]);
+    const Tensor int8_got = int8_handle->Predict(probes[s]);
+    const Tensor int8_want = int8_oracle.Predict(probes[s]);
+    for (std::size_t i = 0; i < exact_want[s].size(); ++i) {
+      EXPECT_EQ(exact_got[i], exact_want[s][i]) << "exact s=" << s;
+      EXPECT_NEAR(fast_got[i], exact_want[s][i], 1e-4f) << "fast s=" << s;
+      EXPECT_EQ(int8_got[i], int8_want[i]) << "int8 s=" << s;
+      EXPECT_NEAR(int8_got[i], exact_want[s][i], 5e-2f) << "int8 s=" << s;
+    }
+  }
+  host.Stop();
+}
+
+}  // namespace
+}  // namespace milr::runtime

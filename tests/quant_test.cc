@@ -1,0 +1,416 @@
+// Unit tests for the int8 quantized serving tier (src/quant/) and its
+// DenseLayer integration: numerics of the quantizer, the packed layout,
+// AVX2-vs-generic bit-equality, error bounds against the fp32 oracle,
+// cache invalidation, and end-to-end top-1 agreement on a serving-sized
+// net.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/model.h"
+#include "quant/gemm_int8.h"
+#include "quant/quantize.h"
+#include "support/prng.h"
+#include "tensor/tensor.h"
+
+namespace milr::quant {
+namespace {
+
+std::vector<float> RandomMatrix(std::size_t rows, std::size_t cols,
+                                Prng& prng, float lo = -1.0f,
+                                float hi = 1.0f) {
+  std::vector<float> m(rows * cols);
+  for (float& v : m) v = prng.NextFloat(lo, hi);
+  return m;
+}
+
+// ------------------------------------------------------------- quantizer
+
+TEST(QuantizeWeights, RoundTripErrorBoundedByHalfScale) {
+  Prng prng(7);
+  const std::size_t k = 37, n = 19;
+  const auto w = RandomMatrix(k, n, prng, -3.0f, 3.0f);
+  const QuantizedWeights q = QuantizeWeights(w.data(), k, n);
+  std::vector<float> back(k * n);
+  DequantizeWeights(q, back.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) {
+      EXPECT_NEAR(back[p * n + j], w[p * n + j], q.scales[j] * 0.5f + 1e-7f)
+          << "p=" << p << " j=" << j;
+    }
+  }
+}
+
+TEST(QuantizeWeights, SymmetricSaturationAtMaxabs) {
+  // Column 0 spans [-4, 4]; the maxabs elements must land exactly on
+  // +/-kWeightQuantMax and nothing may exceed it.
+  const std::size_t k = 4, n = 1;
+  const float w[] = {4.0f, -4.0f, 2.0f, -0.5f};
+  const QuantizedWeights q = QuantizeWeights(w, k, n);
+  EXPECT_FLOAT_EQ(q.scales[0], 4.0f / 127.0f);
+  EXPECT_EQ(q.values[0], 127);
+  EXPECT_EQ(q.values[1], -127);
+  for (std::size_t p = 0; p < k; ++p) {
+    EXPECT_LE(std::abs(static_cast<int>(q.values[p])), kWeightQuantMax);
+  }
+}
+
+TEST(QuantizeWeights, NonFiniteWeightsQuantizeToZeroAndKeepScaleSane) {
+  // The Inf/NaN weights map to 0 and must not poison the column scale:
+  // the finite 1.0 still quantizes to full range.
+  const std::size_t k = 3, n = 1;
+  const float w[] = {std::numeric_limits<float>::infinity(),
+                     std::numeric_limits<float>::quiet_NaN(), 1.0f};
+  const QuantizedWeights q = QuantizeWeights(w, k, n);
+  EXPECT_FLOAT_EQ(q.scales[0], 1.0f / 127.0f);
+  EXPECT_EQ(q.values[0], 0);
+  EXPECT_EQ(q.values[1], 0);
+  EXPECT_EQ(q.values[2], 127);
+}
+
+TEST(QuantizeWeights, AllZeroColumnGetsUnitScale) {
+  const std::size_t k = 2, n = 2;
+  const float w[] = {0.0f, 1.0f, 0.0f, -1.0f};
+  const QuantizedWeights q = QuantizeWeights(w, k, n);
+  EXPECT_FLOAT_EQ(q.scales[0], 1.0f);
+  EXPECT_EQ(q.values[0], 0);
+  EXPECT_EQ(q.values[2], 0);
+}
+
+TEST(QuantizeActivationRow, SymmetricTwelveBitRoundTrip) {
+  const std::size_t k = 5;
+  const float a[] = {-2.0f, 0.0f, 1.0f, 3.0f, -0.5f};
+  std::int16_t out[5];
+  const float scale = QuantizeActivationRow(a, k, out);
+  EXPECT_FLOAT_EQ(scale, 3.0f / 2047.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    EXPECT_LE(std::abs(static_cast<int>(out[p])), kActivationQuantMax);
+    EXPECT_NEAR(scale * static_cast<float>(out[p]), a[p],
+                scale * 0.5f + 1e-7f);
+  }
+  // Zero is exactly representable by symmetry.
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(QuantizeActivationRow, ConstantAndNonFiniteRows) {
+  std::int16_t out[3];
+  const float zeros[] = {0.0f, 0.0f, 0.0f};
+  float scale = QuantizeActivationRow(zeros, 3, out);
+  EXPECT_FLOAT_EQ(scale, 1.0f);
+  EXPECT_EQ(out[0], 0);
+
+  const float bad[] = {std::numeric_limits<float>::quiet_NaN(), 2.0f,
+                       -std::numeric_limits<float>::infinity()};
+  scale = QuantizeActivationRow(bad, 3, out);
+  // Non-finite values dequantize to 0; the finite 2.0 uses the range.
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_NEAR(scale * static_cast<float>(out[1]), 2.0f,
+              scale * 0.5f + 1e-6f);
+}
+
+// ----------------------------------------------------------- packed GEMM
+
+/// Straight dequant reference: C += dequant(A) * dequant(B) done in
+/// double, computed from the QUANTIZED operands — the exact answer the
+/// integer pipeline must reproduce (up to the fp32 epilogue rounding).
+std::vector<double> DequantReference(const std::vector<std::int16_t>& aq,
+                                     std::size_t astride,
+                                     const std::vector<float>& row_scales,
+                                     const QuantizedWeights& q,
+                                     std::size_t m) {
+  std::vector<double> c(m * q.n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < q.n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < q.k; ++p) {
+        acc += static_cast<double>(aq[i * astride + p]) *
+               static_cast<double>(q.values[p * q.n + j]);
+      }
+      c[i * q.n + j] = static_cast<double>(row_scales[i]) *
+                       static_cast<double>(q.scales[j]) * acc;
+    }
+  }
+  return c;
+}
+
+struct QuantizedGemmInputs {
+  std::vector<std::int16_t> aq;
+  std::vector<float> row_scales;
+  std::size_t astride = 0;
+  QuantizedWeights qw;
+  std::vector<std::int8_t> bpack;
+};
+
+QuantizedGemmInputs MakeInputs(const std::vector<float>& a,
+                               const std::vector<float>& b, std::size_t m,
+                               std::size_t k, std::size_t n) {
+  QuantizedGemmInputs in;
+  in.astride = Int8PaddedDepth(k);
+  in.aq.assign(m * in.astride, 0);
+  in.row_scales.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    in.row_scales[i] = QuantizeActivationRow(
+        a.data() + i * k, k, in.aq.data() + i * in.astride);
+  }
+  in.qw = QuantizeWeights(b.data(), k, n);
+  in.bpack.resize(PackedInt8BSize(k, n));
+  PackInt8BPanels(in.qw.values.data(), k, n, in.bpack.data());
+  return in;
+}
+
+TEST(GemmInt8, MatchesDequantReferenceAcrossShapes) {
+  Prng prng(11);
+  // Odd shapes exercise every tail: k % 2, n % 16, m % 4.
+  const struct { std::size_t m, k, n; } shapes[] = {
+      {1, 8, 16}, {3, 7, 5}, {4, 64, 32}, {5, 33, 17},
+      {8, 256, 48}, {13, 130, 94},
+  };
+  for (const auto& s : shapes) {
+    const auto a = RandomMatrix(s.m, s.k, prng, -2.0f, 2.0f);
+    const auto b = RandomMatrix(s.k, s.n, prng, -1.5f, 1.5f);
+    const auto in = MakeInputs(a, b, s.m, s.k, s.n);
+    std::vector<float> c(s.m * s.n, 0.0f);
+    GemmInt8Dequant(in.aq.data(), in.astride, in.row_scales.data(),
+                    in.bpack.data(), in.qw.scales.data(), c.data(), s.m,
+                    s.k, s.n);
+    const auto ref =
+        DequantReference(in.aq, in.astride, in.row_scales, in.qw, s.m);
+    for (std::size_t i = 0; i < s.m * s.n; ++i) {
+      // The integer pipeline is exact; only the fp32 epilogue rounds.
+      EXPECT_NEAR(c[i], ref[i], 1e-4 + 1e-5 * std::fabs(ref[i]))
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " i=" << i;
+    }
+  }
+}
+
+TEST(GemmInt8, DispatchIsBitIdenticalToGenericKernel) {
+  Prng prng(23);
+  const std::size_t m = 9, k = 77, n = 41;
+  const auto a = RandomMatrix(m, k, prng);
+  const auto b = RandomMatrix(k, n, prng);
+  const auto in = MakeInputs(a, b, m, k, n);
+  std::vector<float> dispatched(m * n, 0.0f), generic(m * n, 0.0f);
+  GemmInt8Dequant(in.aq.data(), in.astride, in.row_scales.data(),
+                  in.bpack.data(), in.qw.scales.data(), dispatched.data(),
+                  m, k, n);
+  GemmInt8DequantGeneric(in.aq.data(), in.astride, in.row_scales.data(),
+                         in.bpack.data(), in.qw.scales.data(),
+                         generic.data(), m, k, n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    // Exact equality: integer accumulation is order-independent and the
+    // float epilogue is the same expression in both kernels. This is the
+    // tier's dispatch-invariance contract, not a tolerance check.
+    EXPECT_EQ(dispatched[i], generic[i]) << "i=" << i;
+  }
+}
+
+TEST(GemmInt8, AccumulatesIntoC) {
+  Prng prng(31);
+  const std::size_t m = 2, k = 16, n = 16;
+  const auto a = RandomMatrix(m, k, prng);
+  const auto b = RandomMatrix(k, n, prng);
+  const auto in = MakeInputs(a, b, m, k, n);
+  std::vector<float> once(m * n, 1.0f), zero(m * n, 0.0f);
+  GemmInt8Dequant(in.aq.data(), in.astride, in.row_scales.data(),
+                  in.bpack.data(), in.qw.scales.data(), once.data(), m, k,
+                  n);
+  GemmInt8Dequant(in.aq.data(), in.astride, in.row_scales.data(),
+                  in.bpack.data(), in.qw.scales.data(), zero.data(), m, k,
+                  n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_FLOAT_EQ(once[i], zero[i] + 1.0f);
+  }
+}
+
+TEST(GemmInt8, ExtremeOperandsStayExact) {
+  // Worst-case magnitudes: every activation at +/-maxabs (quantizes to
+  // +/-2047), weights alternating +/-127, k near the depth bound's shape
+  // in this repo. The AVX2 madd path must agree bit-for-bit with the
+  // (unconditionally exact) generic kernel — there is no saturating step
+  // anywhere in the pipeline.
+  const std::size_t m = 4, k = 1536, n = 16;
+  std::vector<float> a(m * k);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = (i % 2 == 0) ? 100.0f : -100.0f;
+  }
+  std::vector<float> b(k * n);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b[p * n + j] = (p % 2 == 0) ? 4.0f : -4.0f;
+    }
+  }
+  const auto in = MakeInputs(a, b, m, k, n);
+  std::vector<float> dispatched(m * n, 0.0f), generic(m * n, 0.0f);
+  GemmInt8Dequant(in.aq.data(), in.astride, in.row_scales.data(),
+                  in.bpack.data(), in.qw.scales.data(), dispatched.data(),
+                  m, k, n);
+  GemmInt8DequantGeneric(in.aq.data(), in.astride, in.row_scales.data(),
+                         in.bpack.data(), in.qw.scales.data(),
+                         generic.data(), m, k, n);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(dispatched[i], generic[i]) << "i=" << i;
+  }
+}
+
+// --------------------------------------------------- DenseLayer int8 tier
+
+TEST(DenseInt8, ForwardBatchMatchesExactWithinQuantTolerance) {
+  Prng prng(3);
+  const std::size_t k = 64, n = 48, rows = 6;
+  nn::DenseLayer layer(k, n);
+  auto w = RandomMatrix(k, n, prng);
+  std::copy(w.begin(), w.end(), layer.Params().begin());
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  EXPECT_TRUE(layer.int8_weights_valid());
+
+  Tensor batch(Shape{rows, k});
+  for (auto& v : batch.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+  const Tensor got = layer.ForwardBatch(batch);
+
+  layer.set_kernel_config(nn::KernelConfig::kExact);
+  const Tensor want = layer.ForwardBatch(batch);
+  // Analytic quantization error bound per output (i, j): each operand
+  // rounds by at most half a step, so
+  //   |err| <= sa/2 * sum_p|w[p][j]| + sw[j]/2 * sum_p|a[i][p]|
+  //            + k * sa/2 * sw[j]/2
+  // with sa = the row's activation step and sw[j] the column's weight
+  // step. Tighter than any hand-picked constant and still fails on a real
+  // kernel bug (which breaks by whole quantization steps, not halves).
+  std::vector<float> col_abs(n, 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      col_abs[j] += std::fabs(w[p * n + j]);
+    }
+  }
+  const QuantizedWeights qw = QuantizeWeights(w.data(), k, n);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::int16_t> scratch(Int8PaddedDepth(k));
+    const float sa =
+        QuantizeActivationRow(batch.data() + i * k, k, scratch.data());
+    float row_abs = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+      row_abs += std::fabs(batch[i * k + p]);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const float bound = 0.5f * sa * col_abs[j] +
+                          0.5f * qw.scales[j] * row_abs +
+                          0.25f * k * sa * qw.scales[j] + 1e-5f;
+      EXPECT_NEAR(got[i * n + j], want[i * n + j], bound)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(DenseInt8, PerSampleForwardStaysExactUnderInt8Config) {
+  Prng prng(5);
+  nn::DenseLayer layer(32, 16);
+  auto w = RandomMatrix(32, 16, prng);
+  std::copy(w.begin(), w.end(), layer.Params().begin());
+
+  Tensor x(Shape{32});
+  for (auto& v : x.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+  const Tensor exact = layer.Forward(x);
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor still_exact = layer.Forward(x);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    // MILR's init/detect/recover contract: per-sample Forward is
+    // bit-identical no matter the serving tier.
+    EXPECT_EQ(exact[i], still_exact[i]);
+  }
+}
+
+TEST(DenseInt8, MutationInvalidatesAndRequantizes) {
+  Prng prng(9);
+  nn::DenseLayer layer(16, 16);
+  auto w = RandomMatrix(16, 16, prng);
+  std::copy(w.begin(), w.end(), layer.Params().begin());
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  ASSERT_TRUE(layer.int8_weights_valid());
+
+  Tensor x(Shape{2, 16});
+  for (auto& v : x.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+  const Tensor before = layer.ForwardBatch(x);
+
+  // Mutate through the fault-domain span: the cache must invalidate and
+  // the next serve must requantize from the new weights.
+  layer.Params()[0] += 2.0f;
+  EXPECT_FALSE(layer.int8_weights_valid());
+  const Tensor after = layer.ForwardBatch(x);
+  EXPECT_TRUE(layer.int8_weights_valid());
+  EXPECT_NE(before[0], after[0]);
+
+  // And weights() invalidates too (the other mutable accessor).
+  layer.weights();
+  EXPECT_FALSE(layer.int8_weights_valid());
+}
+
+TEST(DenseInt8, DeterministicAcrossBatchSplits) {
+  // Bit-stability across row blocking: serving the same sample alone or
+  // inside a large batch must produce identical floats (integer
+  // accumulation + fixed-order epilogue). The fp32 fast tier cannot make
+  // this promise; the int8 tier's requantization test relies on it.
+  Prng prng(13);
+  nn::DenseLayer layer(96, 32);
+  auto w = RandomMatrix(96, 32, prng);
+  std::copy(w.begin(), w.end(), layer.Params().begin());
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+
+  const std::size_t big = 48;  // crosses the rows>=32 ParallelFor path
+  Tensor batch(Shape{big, 96});
+  for (auto& v : batch.flat()) v = prng.NextFloat(-2.0f, 2.0f);
+  const Tensor all = layer.ForwardBatch(batch);
+  for (std::size_t s : {std::size_t{0}, std::size_t{17}, big - 1}) {
+    Tensor one(Shape{1, 96});
+    std::copy_n(batch.data() + s * 96, 96, one.data());
+    const Tensor single = layer.ForwardBatch(one);
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_EQ(single[j], all[s * 32 + j]) << "s=" << s << " j=" << j;
+    }
+  }
+}
+
+TEST(DenseInt8, TopOneAgreementOnServingNet) {
+  // End-to-end acceptance proxy: the bench nets' int8 top-1 must track
+  // exact >= 99%. A dense MLP with He-init weights and random probes is
+  // the adversarial case (no trained margins).
+  using namespace milr;
+  nn::Model model(Shape{256});
+  model.AddDense(320).AddBias().AddReLU();
+  model.AddDense(320).AddBias().AddReLU();
+  model.AddDense(256).AddBias().AddReLU();
+  model.AddDense(10).AddBias();
+  nn::InitHeUniform(model, /*seed=*/11);
+
+  Prng prng(29);
+  const std::size_t samples = 300;
+  Tensor batch(Shape{samples, 256});
+  for (auto& v : batch.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+
+  model.set_kernel_config(nn::KernelConfig::kExact);
+  const Tensor exact = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor int8 = model.PredictBatch(batch);
+
+  std::size_t agree = 0;
+  const std::size_t classes = 10;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const float* e = exact.data() + s * classes;
+    const float* q = int8.data() + s * classes;
+    const std::size_t ce = std::max_element(e, e + classes) - e;
+    const std::size_t cq = std::max_element(q, q + classes) - q;
+    agree += (ce == cq) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(agree) / samples, 0.99)
+      << agree << "/" << samples << " top-1 agreement";
+  model.set_kernel_config(nn::KernelConfig::kExact);
+}
+
+}  // namespace
+}  // namespace milr::quant
