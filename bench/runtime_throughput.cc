@@ -47,6 +47,7 @@
 #include "nn/init.h"
 #include "nn/kernel_config.h"
 #include "nn/model.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/serving_host.h"
 #include "support/prng.h"
@@ -464,6 +465,71 @@ std::vector<CoHostRow> RunCoHostSweep(
   return rows;
 }
 
+// -------------------------------------------------------- tracing overhead
+//
+// The flight recorder's acceptance number: the same engine phase run with
+// tracing off and with tracing on (full lifecycle spans — enqueue, grant,
+// batch, per-layer kernels, scrub cycles). The recorder is designed so the
+// enabled path is a few relaxed/release stores per event; this measures
+// what that costs in end-to-end QPS. With --trace <file> the enabled run's
+// recording is exported as Chrome trace JSON (chrome://tracing or
+// ui.perfetto.dev).
+
+struct TracingOverheadResult {
+  double qps_disabled = 0.0;
+  double qps_enabled = 0.0;
+  double overhead_pct = 0.0;  // (off - on) / off * 100, noisy near zero
+  unsigned long long events_emitted = 0;
+  unsigned long long events_dropped = 0;
+};
+
+TracingOverheadResult RunTracingOverhead(
+    milr::nn::Model& model, const std::vector<std::vector<float>>& golden,
+    const std::vector<milr::Tensor>& probes, std::size_t max_batch,
+    std::size_t workers, std::size_t clients, double seconds,
+    const char* trace_path) {
+  using namespace milr;
+  auto& tracer = obs::Tracer::Get();
+  TracingOverheadResult result;
+
+  tracer.Disable();
+  tracer.Clear();
+  const PhaseResult off = RunPhase(model, golden, probes,
+                                   nn::KernelConfig::kExact, max_batch,
+                                   workers, clients, seconds);
+  result.qps_disabled = off.rps;
+
+  tracer.Enable();
+  const PhaseResult on = RunPhase(model, golden, probes,
+                                  nn::KernelConfig::kExact, max_batch,
+                                  workers, clients, seconds);
+  tracer.Disable();
+  result.qps_enabled = on.rps;
+  result.overhead_pct =
+      off.rps > 0.0 ? (off.rps - on.rps) / off.rps * 100.0 : 0.0;
+  const auto stats = tracer.GetStats();
+  result.events_emitted = stats.emitted;
+  result.events_dropped = stats.dropped;
+
+  std::printf("tracing overhead (kernel=exact, max_batch=%zu): "
+              "off %9.1f req/s  on %9.1f req/s  overhead %.2f%%  "
+              "(%llu events recorded, %llu wrapped)\n",
+              max_batch, result.qps_disabled, result.qps_enabled,
+              result.overhead_pct, result.events_emitted,
+              result.events_dropped);
+  if (trace_path != nullptr) {
+    if (tracer.WriteChromeTrace(trace_path)) {
+      std::printf("wrote %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_path);
+    } else {
+      std::fprintf(stderr, "cannot write trace file %s\n", trace_path);
+    }
+  }
+  tracer.Clear();
+  return result;
+}
+
 // ------------------------------------------------------------ JSON output
 //
 // --json writes BENCH_runtime.json: every number the text report prints,
@@ -483,7 +549,8 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
                     const std::vector<ModelSweepRow>& sweep,
                     const AgreementResult& agreement,
                     const std::vector<PhaseRow>& phases,
-                    const std::vector<CoHostRow>& cohost) {
+                    const std::vector<CoHostRow>& cohost,
+                    const TracingOverheadResult& tracing) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -544,7 +611,15 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
                      ? row.shared_rps / row.separate_rps
                      : 0.0);
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f,
+               "  \"tracing\": {\"qps_disabled\": %.3f, "
+               "\"qps_enabled\": %.3f, \"overhead_pct\": %.4f, "
+               "\"events_emitted\": %llu, \"events_dropped\": %llu}\n",
+               tracing.qps_disabled, tracing.qps_enabled,
+               tracing.overhead_pct, tracing.events_emitted,
+               tracing.events_dropped);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -555,9 +630,13 @@ int main(int argc, char** argv) {
   using namespace milr;
   bool smoke = false;
   bool json = false;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
   }
 
   const char* net = std::getenv("MILR_NET");
@@ -634,11 +713,17 @@ int main(int argc, char** argv) {
   const std::vector<CoHostRow> cohost =
       RunCoHostSweep(net, cohost_counts, workers, /*max_batch=*/8, seconds);
 
+  // Flight-recorder acceptance: enabled-vs-disabled QPS on the largest
+  // batch config, plus the Chrome trace dump when --trace was given.
+  const TracingOverheadResult tracing = RunTracingOverhead(
+      model, golden, probes, batches.back(), workers, clients, seconds,
+      trace_path);
+
   if (json) {
     WriteBenchJson("BENCH_runtime.json", net, smoke, clients, workers,
                    seconds,
                    static_cast<double>(model.TotalParamBytes()) / 1e6,
-                   sweep, agreement, phase_rows, cohost);
+                   sweep, agreement, phase_rows, cohost, tracing);
   }
   return 0;
 }

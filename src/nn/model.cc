@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace milr::nn {
 
 Model& Model::Add(std::unique_ptr<Layer> layer) {
@@ -13,6 +15,7 @@ Model& Model::Add(std::unique_ptr<Layer> layer) {
   layer->set_kernel_config(kernel_config_);
   layers_.push_back(std::move(layer));
   shapes_.push_back(out);
+  profiler_.Reset(layers_.size());
   return *this;
 }
 
@@ -79,7 +82,30 @@ Tensor Model::Predict(const Tensor& input) const {
 
 Tensor Model::PredictBatch(Tensor batch) const {
   Tensor current = std::move(batch);
-  for (const auto& layer : layers_) current = layer->ForwardBatch(current);
+  // One relaxed load decides between the bare loop and the instrumented
+  // one, so the serving hot path pays nothing while observability is off.
+  const unsigned bits = obs::InstrumentationBits();
+  if (bits == 0) {
+    for (const auto& layer : layers_) current = layer->ForwardBatch(current);
+    return current;
+  }
+  const std::uint32_t rows =
+      current.shape().rank() > 0 ? static_cast<std::uint32_t>(current.shape()[0])
+                                 : 1u;
+  const std::uint16_t track = obs::CurrentTrack();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& layer = *layers_[i];
+    const std::uint64_t t0 = obs::TraceNowNanos();
+    current = layer.ForwardBatch(current);
+    const std::uint64_t t1 = obs::TraceNowNanos();
+    if ((bits & obs::kProfileBit) != 0) profiler_.Record(i, t1 - t0, rows);
+    if ((bits & obs::kTraceBit) != 0) {
+      // name = layer kind, cat = kernel tier; a = layer index, b = batch.
+      obs::Tracer::Get().EmitSpan(LayerKindName(layer.kind()),
+                                  KernelConfigName(layer.kernel_config()), t0,
+                                  t1 - t0, i, rows, track);
+    }
+  }
   return current;
 }
 

@@ -9,6 +9,7 @@
 #include "nn/dense.h"
 #include "nn/layer.h"
 #include "nn/pool.h"
+#include "obs/profile.h"
 
 namespace milr::nn {
 
@@ -95,11 +96,20 @@ class Model {
   std::vector<std::vector<float>> SnapshotParams() const;
   void RestoreParams(const std::vector<std::vector<float>>& snapshot);
 
+  /// Per-layer service-time accumulators, fed by PredictBatch when layer
+  /// profiling is on (obs::Tracer profile bit); one slot per layer,
+  /// re-sized on Add. The exposition layer reads these for its
+  /// milr_layer_* series.
+  const obs::LayerProfiler& profiler() const { return profiler_; }
+
  private:
   Shape input_shape_;
   std::vector<Shape> shapes_{input_shape_};  // shapes_[i] = input of layer i
   std::vector<std::unique_ptr<Layer>> layers_;
   KernelConfig kernel_config_ = KernelConfig::kExact;
+  // mutable: PredictBatch is const; the profiler's relaxed adds are the
+  // observability side-channel, not model state.
+  mutable obs::LayerProfiler profiler_;
 };
 
 }  // namespace milr::nn

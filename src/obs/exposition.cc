@@ -1,0 +1,78 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace milr::obs {
+namespace {
+
+void AppendValue(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buffer[64];
+  // %.17g round-trips doubles but renders counters as 1.7000000000000001e+01;
+  // 15 significant digits keeps integers exact up to 2^49 and stays clean.
+  std::snprintf(buffer, sizeof(buffer), "%.15g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const std::vector<MetricFamily>& families) {
+  std::string out;
+  for (const MetricFamily& family : families) {
+    if (!family.help.empty()) {
+      out += "# HELP ";
+      out += family.name;
+      out += " ";
+      out += family.help;
+      out += "\n";
+    }
+    out += "# TYPE ";
+    out += family.name;
+    out += " ";
+    out += family.type;
+    out += "\n";
+    for (const MetricSample& sample : family.samples) {
+      out += family.name;
+      if (!sample.labels.empty()) {
+        out += "{";
+        out += sample.labels;
+        out += "}";
+      }
+      out += " ";
+      AppendValue(out, sample.value);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace milr::obs

@@ -1,0 +1,35 @@
+// Prometheus-style text exposition: a tiny generic metric model plus a
+// renderer. obs sits below the runtime in the dependency DAG, so this file
+// knows nothing about MetricsSnapshot — src/runtime/telemetry.cc bridges
+// runtime metrics into MetricFamily records and calls the renderer here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace milr::obs {
+
+/// One sample line: `name{labels} value`. `labels` is the pre-rendered
+/// body between the braces (e.g. `model="m0",layer="dense"`), empty for an
+/// unlabelled series.
+struct MetricSample {
+  std::string labels;
+  double value = 0.0;
+};
+
+/// One `# HELP` / `# TYPE` block with its samples.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  const char* type = "gauge";  // "gauge" | "counter"
+  std::vector<MetricSample> samples;
+};
+
+/// Escapes a label VALUE per the exposition format (backslash, quote,
+/// newline); callers compose `key="escaped"` label bodies from it.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Renders the families in Prometheus text exposition format 0.0.4.
+std::string RenderPrometheusText(const std::vector<MetricFamily>& families);
+
+}  // namespace milr::obs

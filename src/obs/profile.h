@@ -1,0 +1,73 @@
+// Per-layer service-time profiler: three relaxed counters per layer,
+// accumulated inside Model::PredictBatch when the profile bit is on (see
+// obs/trace.h). Unlike trace rings this never drops data — it is the cheap
+// always-on source for the telemetry exposition's per-layer aggregates,
+// while the flight recorder answers "what happened just now".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace milr::obs {
+
+/// One layer's accumulated service time. `samples` counts batch rows, so
+/// nanos/samples is per-example cost and nanos/calls is per-invocation.
+struct LayerProfile {
+  std::uint64_t calls = 0;
+  std::uint64_t nanos = 0;
+  std::uint64_t samples = 0;
+};
+
+/// Fixed-slot accumulator owned by a Model; Reset(n) at topology-change
+/// time, Record() from any serving thread (relaxed adds, no locks).
+class LayerProfiler {
+ public:
+  LayerProfiler() = default;
+  LayerProfiler(LayerProfiler&&) = default;
+  LayerProfiler& operator=(LayerProfiler&&) = default;
+
+  void Reset(std::size_t layers) {
+    slots_ = layers > 0 ? std::make_unique<Slot[]>(layers) : nullptr;
+    size_ = layers;
+  }
+
+  void Record(std::size_t layer, std::uint64_t nanos, std::uint64_t batch) {
+    if (layer >= size_) return;
+    Slot& slot = slots_[layer];
+    slot.calls.fetch_add(1, std::memory_order_relaxed);
+    slot.nanos.fetch_add(nanos, std::memory_order_relaxed);
+    slot.samples.fetch_add(batch, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const { return size_; }
+
+  LayerProfile Read(std::size_t layer) const {
+    LayerProfile out;
+    if (layer >= size_) return out;
+    const Slot& slot = slots_[layer];
+    out.calls = slot.calls.load(std::memory_order_relaxed);
+    out.nanos = slot.nanos.load(std::memory_order_relaxed);
+    out.samples = slot.samples.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  std::vector<LayerProfile> ReadAll() const {
+    std::vector<LayerProfile> out(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = Read(i);
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> nanos{0};
+    std::atomic<std::uint64_t> samples{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace milr::obs

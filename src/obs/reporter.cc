@@ -1,0 +1,84 @@
+#include "obs/reporter.h"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+namespace milr::obs {
+namespace {
+
+bool WriteAtomically(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fclose(f) == 0 && written == body.size();
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TelemetryReporter::TelemetryReporter(RenderFn render,
+                                     TelemetryReporterConfig config)
+    : render_(std::move(render)), config_(std::move(config)) {}
+
+TelemetryReporter::TelemetryReporter(RenderFn render, SinkFn sink,
+                                     TelemetryReporterConfig config)
+    : render_(std::move(render)),
+      sink_(std::move(sink)),
+      config_(std::move(config)) {}
+
+TelemetryReporter::~TelemetryReporter() { Stop(); }
+
+void TelemetryReporter::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TelemetryReporter::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+}
+
+bool TelemetryReporter::ReportNow() {
+  const std::string body = render_();
+  bool ok = true;
+  if (sink_) {
+    sink_(body);
+  } else if (!config_.path.empty()) {
+    ok = WriteAtomically(config_.path, body);
+  }
+  reports_.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+void TelemetryReporter::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_.wait_for(lock, config_.period, [this] { return stop_requested_; });
+      if (stop_requested_) break;
+    }
+    ReportNow();
+  }
+  ReportNow();  // final flush so the exposition reflects shutdown state
+}
+
+}  // namespace milr::obs

@@ -1,0 +1,68 @@
+// Periodic telemetry reporter: a background thread that renders an
+// exposition snapshot every period and hands it to a sink — by default a
+// file written via tmp+rename so scrapers never observe a torn write.
+// The render callback is supplied by the runtime (see
+// runtime/telemetry.h), keeping obs free of runtime dependencies.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace milr::obs {
+
+struct TelemetryReporterConfig {
+  std::chrono::milliseconds period{1000};
+  /// Exposition file path; ignored when a sink callback is given.
+  std::string path;
+};
+
+class TelemetryReporter {
+ public:
+  using RenderFn = std::function<std::string()>;
+  using SinkFn = std::function<void(const std::string&)>;
+
+  /// File-writing reporter (config.path must be set before Start).
+  TelemetryReporter(RenderFn render, TelemetryReporterConfig config);
+  /// Callback reporter: every report is passed to `sink` instead of disk.
+  TelemetryReporter(RenderFn render, SinkFn sink,
+                    TelemetryReporterConfig config);
+  ~TelemetryReporter();
+
+  TelemetryReporter(const TelemetryReporter&) = delete;
+  TelemetryReporter& operator=(const TelemetryReporter&) = delete;
+
+  /// Starts / stops the reporter thread. Stop is prompt (a sleeping
+  /// reporter wakes immediately) and flushes one final report so the
+  /// exposition reflects shutdown state.
+  void Start();
+  void Stop();
+
+  /// Renders and sinks one report synchronously; returns false if the
+  /// file write failed (callback sinks always succeed).
+  bool ReportNow();
+
+  /// Reports emitted so far (periodic + manual), for tests.
+  std::uint64_t reports() const {
+    return reports_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  RenderFn render_;
+  SinkFn sink_;  // null => write config_.path
+  TelemetryReporterConfig config_;
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::atomic<std::uint64_t> reports_{0};
+};
+
+}  // namespace milr::obs

@@ -1,0 +1,406 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace milr::obs {
+namespace {
+
+/// Generation lives above the instrumentation bits in Tracer::state_.
+constexpr unsigned kGenShift = 2;
+
+/// Pending thread name: applied when the thread registers a ring. Rings
+/// are re-registered per recording (Enable drops them), so a name set at
+/// thread start covers every later recording.
+thread_local std::string t_thread_name;
+
+/// Innermost ScopedTrack; 0 = host-wide.
+thread_local std::uint16_t t_current_track = 0;
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Human arg keys per category, so the exported args read as "batch": 8
+/// rather than "b": 8 in the trace viewer.
+struct ArgNames {
+  const char* a;
+  const char* b;
+};
+
+ArgNames ArgNamesFor(const char* cat) {
+  if (cat != nullptr) {
+    // Layer spans use the kernel tier as their category (see
+    // Model::PredictBatch), so the tier names map to layer args.
+    if (std::strcmp(cat, "exact") == 0 || std::strcmp(cat, "fast") == 0 ||
+        std::strcmp(cat, "int8") == 0) {
+      return {"layer_index", "batch"};
+    }
+    if (std::strcmp(cat, "sched") == 0) return {"quota", "served"};
+    if (std::strcmp(cat, "serve") == 0) return {"latency_us", "batch"};
+    if (std::strcmp(cat, "scrub") == 0) return {"flagged", "recovered"};
+    if (std::strcmp(cat, "fault") == 0) return {"corrupted", "count"};
+    if (std::strcmp(cat, "request") == 0) return {"depth", "batch"};
+  }
+  return {"a", "b"};
+}
+
+}  // namespace
+
+std::uint64_t TraceNowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Single-producer ring: only the owning thread writes slots/head; readers
+/// are serialized through the pause handshake in SnapshotRings.
+struct Tracer::Ring {
+  std::vector<TraceEvent> slots;
+  std::uint64_t mask = 0;
+  std::atomic<std::uint64_t> head{0};  // monotonic write count
+  std::atomic<int> active{0};          // owner is mid-write
+  std::uint32_t tid = 0;
+  std::string thread_name;  // set at registration, read under registry lock
+};
+
+struct Tracer::RingCopy {
+  std::uint32_t tid = 0;
+  std::string thread_name;
+  std::vector<TraceEvent> events;  // oldest -> newest
+  std::uint64_t emitted = 0;
+};
+
+Tracer& Tracer::Get() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable(std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  ring_capacity_ = RoundUpPow2(
+      std::clamp<std::size_t>(events_per_thread, 64, std::size_t{1} << 20));
+  rings_.clear();  // fresh recording; emitters re-register lazily
+  const std::uint64_t generation =
+      (state_.load(std::memory_order_relaxed) >> kGenShift) + 1;
+  state_.store((generation << kGenShift) | kTraceBit | kProfileBit,
+               std::memory_order_seq_cst);
+}
+
+void Tracer::Disable() {
+  state_.fetch_and(~static_cast<std::uint64_t>(kTraceBit | kProfileBit),
+                   std::memory_order_seq_cst);
+}
+
+void Tracer::EnableProfiling() {
+  state_.fetch_or(kProfileBit, std::memory_order_seq_cst);
+}
+
+void Tracer::DisableProfiling() {
+  state_.fetch_and(~static_cast<std::uint64_t>(kProfileBit),
+                   std::memory_order_seq_cst);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  rings_.clear();
+  state_.fetch_add(std::uint64_t{1} << kGenShift,
+                   std::memory_order_seq_cst);
+}
+
+std::uint16_t Tracer::RegisterTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(track_mutex_);
+  if (track_names_.size() >= 0xFFFE) return 0;  // saturate to host track
+  track_names_.push_back(name);
+  return static_cast<std::uint16_t>(track_names_.size());  // 1-based
+}
+
+std::string Tracer::TrackName(std::uint16_t track) const {
+  std::lock_guard<std::mutex> lock(track_mutex_);
+  if (track == 0 || track > track_names_.size()) return {};
+  return track_names_[track - 1];
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  t_thread_name = std::move(name);
+}
+
+Tracer::Ring* Tracer::CurrentRing(std::uint64_t generation) {
+  thread_local std::shared_ptr<Ring> t_ring;
+  thread_local std::uint64_t t_generation = ~std::uint64_t{0};
+  if (t_generation == generation && t_ring != nullptr) return t_ring.get();
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if ((state_.load(std::memory_order_relaxed) >> kGenShift) != generation) {
+    return nullptr;  // the recording restarted under us; drop the event
+  }
+  auto ring = std::make_shared<Ring>();
+  ring->slots.resize(ring_capacity_);
+  ring->mask = ring_capacity_ - 1;
+  ring->tid = static_cast<std::uint32_t>(rings_.size());
+  ring->thread_name = t_thread_name;
+  rings_.push_back(ring);
+  t_ring = std::move(ring);
+  t_generation = generation;
+  return t_ring.get();
+}
+
+void Tracer::Emit(const TraceEvent& event) {
+  const std::uint64_t state = state_.load(std::memory_order_acquire);
+  if ((state & kTraceBit) == 0) return;
+  Ring* ring = CurrentRing(state >> kGenShift);
+  if (ring == nullptr) return;
+  // Dekker-style handshake with SnapshotRings: the writer raises `active`
+  // and re-checks the trace bit (both seq_cst); the reader clears the bit
+  // (seq_cst RMW) and then waits for `active` to drop. Either the writer
+  // sees the cleared bit and backs out, or the reader sees active == 1 and
+  // waits out this store -- so the reader never copies a slot mid-write,
+  // without any lock on this path.
+  ring->active.store(1, std::memory_order_seq_cst);
+  if ((state_.load(std::memory_order_seq_cst) & kTraceBit) == 0) {
+    ring->active.store(0, std::memory_order_release);
+    return;
+  }
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  ring->slots[head & ring->mask] = event;
+  ring->head.store(head + 1, std::memory_order_release);
+  ring->active.store(0, std::memory_order_release);
+}
+
+void Tracer::EmitSpan(const char* name, const char* cat,
+                      std::uint64_t begin_ns, std::uint64_t dur_ns,
+                      std::uint64_t a, std::uint32_t b,
+                      std::uint16_t track) {
+  TraceEvent event;
+  event.ts_ns = begin_ns;
+  event.dur_ns = dur_ns;
+  event.name = name;
+  event.cat = cat;
+  event.a = a;
+  event.b = b;
+  event.track = track;
+  event.type = TraceType::kSpan;
+  Emit(event);
+}
+
+void Tracer::EmitInstant(const char* name, const char* cat, std::uint64_t a,
+                         std::uint32_t b, std::uint16_t track) {
+  TraceEvent event;
+  event.ts_ns = TraceNowNanos();
+  event.name = name;
+  event.cat = cat;
+  event.a = a;
+  event.b = b;
+  event.track = track;
+  event.type = TraceType::kInstant;
+  Emit(event);
+}
+
+std::vector<Tracer::RingCopy> Tracer::SnapshotRings() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const std::uint64_t previous = state_.fetch_and(
+      ~static_cast<std::uint64_t>(kTraceBit), std::memory_order_seq_cst);
+  // Wait out every in-flight emitter (bounded: the guarded section is one
+  // slot write).
+  for (const auto& ring : rings_) {
+    while (ring->active.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  std::vector<RingCopy> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = ring->mask + 1;
+    const std::uint64_t count = std::min(head, capacity);
+    RingCopy copy;
+    copy.tid = ring->tid;
+    copy.thread_name = ring->thread_name;
+    copy.emitted = head;
+    copy.events.reserve(count);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      copy.events.push_back(ring->slots[i & ring->mask]);
+    }
+    out.push_back(std::move(copy));
+  }
+  if ((previous & kTraceBit) != 0) {
+    state_.fetch_or(kTraceBit, std::memory_order_seq_cst);
+  }
+  return out;
+}
+
+Tracer::Stats Tracer::GetStats() {
+  Stats stats;
+  for (const auto& ring : SnapshotRings()) {
+    stats.recorded += ring.events.size();
+    stats.emitted += ring.emitted;
+    stats.dropped += ring.emitted - ring.events.size();
+    ++stats.threads;
+  }
+  return stats;
+}
+
+std::string Tracer::ChromeTraceJson() {
+  const std::vector<RingCopy> rings = SnapshotRings();
+  std::vector<std::string> tracks;
+  {
+    std::lock_guard<std::mutex> lock(track_mutex_);
+    tracks = track_names_;
+  }
+
+  struct Indexed {
+    const TraceEvent* event;
+    std::uint32_t tid;
+  };
+  std::vector<Indexed> merged;
+  std::uint64_t base_ns = ~std::uint64_t{0};
+  for (const auto& ring : rings) {
+    for (const auto& event : ring.events) {
+      merged.push_back(Indexed{&event, ring.tid});
+      base_ns = std::min(base_ns, event.ts_ns);
+    }
+  }
+  if (merged.empty()) base_ns = 0;
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Indexed& x, const Indexed& y) {
+                     return x.event->ts_ns < y.event->ts_ns;
+                   });
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  comma();
+  out +=
+      "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"milr-serving\"}}";
+  for (const auto& ring : rings) {
+    if (ring.thread_name.empty()) continue;
+    comma();
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"ph\": \"M\", \"pid\": 1, \"tid\": %u, \"name\": "
+                  "\"thread_name\", \"args\": {\"name\": \"",
+                  ring.tid);
+    out += buffer;
+    AppendEscaped(out, ring.thread_name);
+    out += "\"}}";
+  }
+
+  for (const auto& item : merged) {
+    const TraceEvent& event = *item.event;
+    if (event.name == nullptr) continue;
+    comma();
+    char buffer[160];
+    const double ts_us = static_cast<double>(event.ts_ns - base_ns) / 1e3;
+    if (event.type == TraceType::kSpan) {
+      const double dur_us = static_cast<double>(event.dur_ns) / 1e3;
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                    "\"dur\": %.3f, \"name\": \"",
+                    item.tid, ts_us, dur_us);
+    } else {
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"ph\": \"i\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                    "\"s\": \"t\", \"name\": \"",
+                    item.tid, ts_us);
+    }
+    out += buffer;
+    AppendEscaped(out, event.name);
+    out += "\"";
+    if (event.cat != nullptr) {
+      out += ", \"cat\": \"";
+      AppendEscaped(out, event.cat);
+      out += "\"";
+    }
+    const ArgNames names = ArgNamesFor(event.cat);
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"args\": {\"%s\": %llu, \"%s\": %u", names.a,
+                  static_cast<unsigned long long>(event.a), names.b,
+                  static_cast<unsigned>(event.b));
+    out += buffer;
+    if (event.track != 0 && event.track <= tracks.size()) {
+      out += ", \"model\": \"";
+      AppendEscaped(out, tracks[event.track - 1]);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (std::fclose(f) == 0) && written == json.size();
+  return ok;
+}
+
+std::uint16_t CurrentTrack() { return t_current_track; }
+
+ScopedTrack::ScopedTrack(std::uint16_t track) : previous_(t_current_track) {
+  t_current_track = track;
+}
+
+ScopedTrack::~ScopedTrack() { t_current_track = previous_; }
+
+void TraceInstant(const char* name, const char* cat, std::uint64_t a,
+                  std::uint32_t b) {
+  TraceInstantOn(t_current_track, name, cat, a, b);
+}
+
+void TraceInstantOn(std::uint16_t track, const char* name, const char* cat,
+                    std::uint64_t a, std::uint32_t b) {
+  Tracer& tracer = Tracer::Get();
+  if (!tracer.enabled()) return;
+  tracer.EmitInstant(name, cat, a, b, track);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat, std::uint64_t a,
+                     std::uint32_t b)
+    : name_(name), cat_(cat), a_(a), b_(b), armed_(TracingEnabled()) {
+  if (!armed_) return;
+  track_ = t_current_track;
+  start_ = TraceNowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  Tracer::Get().EmitSpan(name_, cat_, start_, TraceNowNanos() - start_, a_,
+                         b_, track_);
+}
+
+}  // namespace milr::obs

@@ -1,0 +1,212 @@
+// Flight-recorder tracing: always-compiled, off-by-default, cheap enough
+// to leave in the serving hot path.
+//
+// Design, shaped by the availability questions the runtime has to answer
+// ("when did the quarantine start relative to the p99 spike?"):
+//  * Per-thread ring buffers of fixed-size TraceEvent records. Each thread
+//    writes only its own ring (single-producer), so the enabled emit path
+//    is a handful of relaxed/release stores and never takes a lock — a
+//    flight recorder must not serialize the threads it observes.
+//  * Rings keep the most recent N events per thread (overwrite on wrap):
+//    the recorder runs continuously and the interesting window is always
+//    "just before now".
+//  * Span names/categories are pointers to static-storage strings (string
+//    literals, LayerKindName(), KernelConfigName()), which keeps events
+//    POD and emission allocation-free.
+//  * Disabled cost is one relaxed atomic load (TraceSpan additionally
+//    stores one bool member), so instrumentation stays compiled into
+//    release builds.
+//
+// Export pauses tracing, waits for in-flight emitters via a per-ring
+// Dekker-style handshake (see Tracer::Emit), copies every ring, resumes —
+// so dumps are data-race-free against concurrent emitters without putting
+// a lock on the emit path. The exporter renders Chrome trace-event JSON
+// ("X" complete spans + "i" instants) loadable in chrome://tracing and
+// ui.perfetto.dev. Spans are emitted as complete events at span END (begin
+// timestamp + duration in one record), so a wrapped ring can never strand
+// an unmatched begin/end pair.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace milr::obs {
+
+/// steady_clock nanos — the one clock every trace timestamp uses.
+std::uint64_t TraceNowNanos();
+
+enum class TraceType : std::uint8_t {
+  kSpan,     // complete span: ts_ns = begin, dur_ns = duration
+  kInstant,  // point event: ts_ns = when, dur_ns unused
+};
+
+/// Fixed-size trace record. `name` and `cat` MUST point to static-storage
+/// strings (literals or *Name() tables) — events outlive the emitting call.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t a = 0;       // payload; meaning depends on cat (see export)
+  std::uint32_t b = 0;       // second payload
+  std::uint16_t track = 0;   // model track id (0 = host-wide)
+  TraceType type = TraceType::kInstant;
+  std::uint8_t reserved = 0;
+};
+
+/// Instrumentation bits packed into Tracer's state word. Sites that pay a
+/// per-layer cost read the bits once per call (InstrumentationBits) and
+/// skip both spans and profiling when zero.
+inline constexpr unsigned kTraceBit = 1u;    // emit trace events
+inline constexpr unsigned kProfileBit = 2u;  // accumulate layer profiles
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingEvents = 1u << 13;
+
+  static Tracer& Get();
+
+  /// Starts a FRESH recording: drops previously recorded events, sizes
+  /// per-thread rings to `events_per_thread` (rounded up to a power of
+  /// two, clamped to [64, 1<<20]) and turns the trace + profile bits on.
+  void Enable(std::size_t events_per_thread = kDefaultRingEvents);
+
+  /// Stops recording but keeps the recorded events for export.
+  void Disable();
+
+  /// Turns layer-profile accumulation on/off without trace rings — the
+  /// telemetry exposition's per-layer aggregates at near-zero cost.
+  void EnableProfiling();
+  void DisableProfiling();
+
+  bool enabled() const {
+    return (state_.load(std::memory_order_relaxed) & kTraceBit) != 0;
+  }
+
+  /// Drops all recorded events (threads re-register rings lazily).
+  void Clear();
+
+  /// Registers a named track (one per served model); returns its id for
+  /// TraceEvent::track. Id 0 is reserved for host-wide events.
+  std::uint16_t RegisterTrack(const std::string& name);
+  std::string TrackName(std::uint16_t track) const;
+
+  /// Names the calling thread in the exported trace ("worker_0",
+  /// "scrubber", ...). Sticky: applies to the thread's current ring and
+  /// any ring it registers later.
+  static void SetCurrentThreadName(std::string name);
+
+  // ------------------------------------------------------------- emission
+
+  void EmitSpan(const char* name, const char* cat, std::uint64_t begin_ns,
+                std::uint64_t dur_ns, std::uint64_t a, std::uint32_t b,
+                std::uint16_t track);
+  void EmitInstant(const char* name, const char* cat, std::uint64_t a,
+                   std::uint32_t b, std::uint16_t track);
+
+  // --------------------------------------------------------------- export
+
+  /// Chrome trace-event JSON of everything currently recorded. Safe to
+  /// call while emitters run: recording pauses for the copy and resumes.
+  std::string ChromeTraceJson();
+
+  /// Writes ChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path);
+
+  struct Stats {
+    std::uint64_t recorded = 0;   // events currently held in rings
+    std::uint64_t emitted = 0;    // events ever written this recording
+    std::uint64_t dropped = 0;    // overwritten by ring wrap
+    std::size_t threads = 0;      // rings registered this recording
+  };
+  Stats GetStats();
+
+ private:
+  struct Ring;
+  struct RingCopy;
+
+  Tracer() = default;
+
+  Ring* CurrentRing(std::uint64_t generation);
+  std::vector<RingCopy> SnapshotRings();
+  void Emit(const TraceEvent& event);
+
+  /// Bit 0: tracing, bit 1: profiling, bits 2+: recording generation.
+  /// A single word so the disabled emit path is one relaxed load and a
+  /// stale-generation thread detects it from the same load that armed it.
+  std::atomic<std::uint64_t> state_{0};
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::size_t ring_capacity_ = kDefaultRingEvents;
+
+  mutable std::mutex track_mutex_;
+  std::vector<std::string> track_names_;
+
+  friend unsigned InstrumentationBits();
+};
+
+/// One relaxed load; true when trace events are being recorded.
+inline bool TracingEnabled() { return Tracer::Get().enabled(); }
+
+/// Trace/profile bits in one relaxed load (see kTraceBit/kProfileBit).
+inline unsigned InstrumentationBits() {
+  return static_cast<unsigned>(
+      Tracer::Get().state_.load(std::memory_order_relaxed) &
+      (kTraceBit | kProfileBit));
+}
+
+/// Thread-local model-track scope: spans and instants emitted without an
+/// explicit track (layer spans inside Model::PredictBatch) inherit the
+/// innermost scope. Worker/scrubber paths open one per served model.
+std::uint16_t CurrentTrack();
+class ScopedTrack {
+ public:
+  explicit ScopedTrack(std::uint16_t track);
+  ~ScopedTrack();
+  ScopedTrack(const ScopedTrack&) = delete;
+  ScopedTrack& operator=(const ScopedTrack&) = delete;
+
+ private:
+  std::uint16_t previous_;
+};
+
+/// Point event on the current (or an explicit) model track.
+void TraceInstant(const char* name, const char* cat, std::uint64_t a = 0,
+                  std::uint32_t b = 0);
+void TraceInstantOn(std::uint16_t track, const char* name, const char* cat,
+                    std::uint64_t a = 0, std::uint32_t b = 0);
+
+/// RAII span: stamps begin at construction, emits one complete event at
+/// destruction. When tracing is disabled the constructor is one relaxed
+/// load plus one bool store and the destructor is a branch.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat, std::uint64_t a = 0,
+            std::uint32_t b = 0);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Updates the payload before the span closes (batch size or outcome
+  /// only known at the end).
+  void set_args(std::uint64_t a, std::uint32_t b) {
+    a_ = a;
+    b_ = b;
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t start_ = 0;
+  std::uint64_t a_;
+  std::uint32_t b_;
+  std::uint16_t track_ = 0;
+  bool armed_;
+};
+
+}  // namespace milr::obs

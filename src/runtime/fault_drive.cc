@@ -1,5 +1,7 @@
 #include "runtime/fault_drive.h"
 
+#include "obs/trace.h"
+
 namespace milr::runtime {
 
 FaultDrive::FaultDrive(InferenceEngine& engine, FaultCampaign campaign)
@@ -57,6 +59,7 @@ memory::InjectionReport FaultDrive::FireOnce() {
 }
 
 void FaultDrive::Loop() {
+  obs::Tracer::SetCurrentThreadName("fault_drive");
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(wake_mutex_);

@@ -31,12 +31,24 @@ void AppendField(std::string& out, const char* key, std::uint64_t value,
   out += buffer;
 }
 
+void AppendField(std::string& out, const char* key, bool value,
+                 bool last = false) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %s%s", key,
+                value ? "true" : "false", last ? "" : ", ");
+  out += buffer;
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{";
   AppendField(out, "requests_served", requests_served);
   AppendField(out, "requests_rejected", requests_rejected);
+  AppendField(out, "scheduler_grants", scheduler_grants);
+  AppendField(out, "linger_skips", linger_skips);
+  AppendField(out, "queue_depth", queue_depth);
+  AppendField(out, "in_flight_batches", in_flight_batches);
   AppendField(out, "scrub_cycles", scrub_cycles);
   AppendField(out, "detections", detections);
   AppendField(out, "layers_flagged", layers_flagged);
@@ -50,6 +62,10 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "availability", availability);
   AppendField(out, "recovery_downtime_seconds", recovery_downtime_seconds);
   AppendField(out, "mttr_seconds", mttr_seconds);
+  // The percentile block carries its own honesty marker: true when these
+  // values are AggregateSnapshots' request-weighted approximation rather
+  // than true percentiles of one sample window.
+  AppendField(out, "approx_percentiles", approx_percentiles);
   AppendField(out, "latency_mean_ms", latency_mean_ms);
   AppendField(out, "latency_p50_ms", latency_p50_ms);
   AppendField(out, "latency_p99_ms", latency_p99_ms);
@@ -98,6 +114,14 @@ void Metrics::RecordQueueWait(double millis) {
 
 void Metrics::RecordRejected() {
   requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::RecordGrant() {
+  scheduler_grants_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::RecordLingerSkip() {
+  linger_skips_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Metrics::RecordBatch(std::size_t batch_size, double service_millis) {
@@ -153,6 +177,8 @@ MetricsSnapshot Metrics::Snapshot() const {
   MetricsSnapshot snap;
   snap.requests_served = requests_served_.load(std::memory_order_relaxed);
   snap.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  snap.scheduler_grants = scheduler_grants_.load(std::memory_order_relaxed);
+  snap.linger_skips = linger_skips_.load(std::memory_order_relaxed);
   snap.scrub_cycles = scrub_cycles_.load(std::memory_order_relaxed);
   snap.detections = detections_.load(std::memory_order_relaxed);
   snap.layers_flagged = layers_flagged_.load(std::memory_order_relaxed);
@@ -262,6 +288,10 @@ MetricsSnapshot AggregateSnapshots(
   for (const auto& p : parts) {
     agg.requests_served += p.requests_served;
     agg.requests_rejected += p.requests_rejected;
+    agg.scheduler_grants += p.scheduler_grants;
+    agg.linger_skips += p.linger_skips;
+    agg.queue_depth += p.queue_depth;
+    agg.in_flight_batches += p.in_flight_batches;
     agg.scrub_cycles += p.scrub_cycles;
     agg.detections += p.detections;
     agg.layers_flagged += p.layers_flagged;
@@ -317,6 +347,11 @@ MetricsSnapshot AggregateSnapshots(
     agg.batch_service_mean_ms =
         batch_service_ms / static_cast<double>(agg.batches_served);
   }
+  // A single part's percentiles pass through exactly; only a true merge
+  // degrades to the request-weighted approximation.
+  agg.approx_percentiles =
+      parts.size() > 1 ||
+      (parts.size() == 1 && parts.front().approx_percentiles);
   return agg;
 }
 

@@ -22,6 +22,13 @@ namespace milr::runtime {
 struct MetricsSnapshot {
   std::uint64_t requests_served = 0;
   std::uint64_t requests_rejected = 0;   // load shed at the queue bound
+  /// Scheduler decisions, previously invisible: how many worker grants this
+  /// model received, and how many times a worker skipped its batch linger
+  /// because another model had pending work (the HasPendingOther fast
+  /// path). grants ~ served batches under fair sharing; a model with many
+  /// linger_skips is yielding its batching window to co-hosted traffic.
+  std::uint64_t scheduler_grants = 0;
+  std::uint64_t linger_skips = 0;
   std::uint64_t scrub_cycles = 0;
   std::uint64_t detections = 0;          // scrub cycles that flagged layers
   std::uint64_t layers_flagged = 0;
@@ -64,6 +71,18 @@ struct MetricsSnapshot {
   /// unused; sizes above kBatchHistogramMax clamp into the last bucket).
   std::vector<std::uint64_t> batch_histogram;
 
+  // Live gauges, stamped by ModelRuntime::Snapshot at snapshot time (they
+  // are instantaneous reads, not counters the Metrics registry owns).
+  std::uint64_t queue_depth = 0;       // requests waiting right now
+  std::uint64_t in_flight_batches = 0; // workers inside ServeSome right now
+
+  /// True on aggregated snapshots (AggregateSnapshots with > 1 part):
+  /// the latency/queue-wait percentiles are request-weighted means of the
+  /// per-model percentiles, not percentiles of the merged windows. The
+  /// JSON carries this as "approx_percentiles" so dashboards can label
+  /// host-level p99 honestly.
+  bool approx_percentiles = false;
+
   /// Flat JSON object with every field above, for dashboards and logs.
   std::string ToJson() const;
 };
@@ -101,6 +120,12 @@ class Metrics {
   void RecordQueueWait(double millis);
   void RecordRejected();
 
+  /// Records one scheduler grant handed to a worker for this model.
+  void RecordGrant();
+  /// Records one linger skip: a worker bypassed this model's batch linger
+  /// because HasPendingOther reported waiting co-hosted work.
+  void RecordLingerSkip();
+
   /// Records one executed micro-batch: how many requests it carried and how
   /// long the model ran (the shared-lock hold time).
   void RecordBatch(std::size_t batch_size, double service_millis);
@@ -129,6 +154,8 @@ class Metrics {
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> scheduler_grants_{0};
+  std::atomic<std::uint64_t> linger_skips_{0};
   std::atomic<std::uint64_t> scrub_cycles_{0};
   std::atomic<std::uint64_t> detections_{0};
   std::atomic<std::uint64_t> layers_flagged_{0};

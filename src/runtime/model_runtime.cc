@@ -13,6 +13,7 @@ ModelRuntime::ModelRuntime(nn::Model& model, ModelRuntimeConfig config,
     : model_(&model),
       config_(config),
       name_(std::move(name)),
+      trace_track_(obs::Tracer::Get().RegisterTrack(name_)),
       protector_(std::make_unique<core::MilrProtector>(model, config.milr)),
       queue_(config.queue_capacity) {
   // After protector construction: MILR initialization records its golden
@@ -41,6 +42,8 @@ std::future<Tensor> ModelRuntime::Submit(Tensor input) {
     throw std::runtime_error("ModelRuntime[" + name_ +
                              "]: submit after Stop/RemoveModel");
   }
+  obs::TraceInstantOn(trace_track_, "enqueue", "request",
+                      queue_.DepthRelaxed());
   NotifyScheduler();
   return future;
 }
@@ -52,8 +55,12 @@ std::optional<std::future<Tensor>> ModelRuntime::TrySubmit(Tensor input) {
   request.admitted.Restart();  // TryPush never blocks: admission is now
   if (!queue_.TryPush(request)) {
     metrics_.RecordRejected();
+    obs::TraceInstantOn(trace_track_, "reject", "request",
+                        queue_.DepthRelaxed());
     return std::nullopt;
   }
+  obs::TraceInstantOn(trace_track_, "enqueue", "request",
+                      queue_.DepthRelaxed());
   NotifyScheduler();
   return future;
 }
@@ -77,6 +84,13 @@ std::size_t ModelRuntime::ServeSome(std::size_t quota, bool allow_linger) {
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   InFlightGuard guard{&in_flight_};
 
+  // Layer spans emitted inside PredictBatch inherit this model's track;
+  // the batch span is emitted manually (not RAII) so an empty poll leaves
+  // no event behind.
+  obs::ScopedTrack track_scope(trace_track_);
+  const bool tracing = obs::TracingEnabled();
+  const std::uint64_t batch_begin = tracing ? obs::TraceNowNanos() : 0;
+
   std::vector<Request> batch;
   batch.reserve(max_batch);
   const std::size_t taken = queue_.TryPopBatch(
@@ -91,6 +105,15 @@ std::size_t ModelRuntime::ServeSome(std::size_t quota, bool allow_linger) {
     metrics_.RecordQueueWait(request.admitted.ElapsedMillis());
   }
   ServeBatch(batch);
+  if (tracing) {
+    // Covers batch formation (pop + linger) and service; a = the quota
+    // the scheduler granted, b = requests actually served.
+    const std::uint64_t now = obs::TraceNowNanos();
+    obs::Tracer::Get().EmitSpan("batch", "sched", batch_begin,
+                                now - batch_begin, quota,
+                                static_cast<std::uint32_t>(taken),
+                                trace_track_);
+  }
   return taken;
 }
 
@@ -98,11 +121,16 @@ ScrubReport ModelRuntime::ScrubCycle() {
   std::lock_guard<std::mutex> cycle_lock(scrub_cycle_mutex_);
   ScrubReport report;
 
+  obs::ScopedTrack track_scope(trace_track_);
+  obs::TraceSpan cycle_span("scrub_cycle", "scrub");
+
   Stopwatch detect_watch;
   core::DetectionReport detection;
   {
+    obs::TraceSpan detect_span("detect", "scrub");
     std::shared_lock<std::shared_mutex> lock(model_mutex_);
     detection = protector_->Detect();
+    detect_span.set_args(detection.flagged_layers.size(), 0);
   }
   report.detect_seconds = detect_watch.ElapsedSeconds();
   metrics_.RecordScrubCycle();
@@ -113,6 +141,8 @@ ScrubReport ModelRuntime::ScrubCycle() {
 
   Stopwatch outage;
   {
+    obs::TraceSpan quarantine_span("quarantine", "scrub",
+                                   report.flagged_layers);
     std::unique_lock<std::shared_mutex> lock(model_mutex_);
     // Faults may have landed between the concurrent detect and acquiring
     // the exclusive lock; re-detect so recovery sees the full damage.
@@ -127,8 +157,13 @@ ScrubReport ModelRuntime::ScrubCycle() {
         }
       }
     }
+    quarantine_span.set_args(report.flagged_layers,
+                             static_cast<std::uint32_t>(
+                                 report.recovered_layers));
   }
   report.outage_seconds = outage.ElapsedSeconds();
+  cycle_span.set_args(report.flagged_layers,
+                      static_cast<std::uint32_t>(report.recovered_layers));
   // Downtime and recovery accounting are split on purpose: every exclusive
   // quarantine charges availability, but only quarantines that actually
   // repaired layers feed the MTTR numerator/denominator. Lumping failed
@@ -153,6 +188,8 @@ memory::InjectionReport ModelRuntime::InjectFault(
   std::unique_lock<std::shared_mutex> lock(model_mutex_);
   memory::InjectionReport report = attack(*model_);
   metrics_.RecordInjection(report.corrupted_weights);
+  obs::TraceInstantOn(trace_track_, "fault_inject", "fault",
+                      report.corrupted_weights, 1);
   return report;
 }
 
@@ -177,7 +214,10 @@ void ModelRuntime::ServeSingle(Request& request) {
     metrics_.RecordBatch(1, service_ms);
     // Record before fulfilling the promise: a client observing its
     // result must also observe the request in the served counter.
-    metrics_.RecordLatency(request.queued.ElapsedMillis());
+    const double latency_ms = request.queued.ElapsedMillis();
+    metrics_.RecordLatency(latency_ms);
+    obs::TraceInstantOn(trace_track_, "done", "serve",
+                        static_cast<std::uint64_t>(latency_ms * 1e3), 1);
     request.result.set_value(std::move(output));
   } catch (...) {
     request.result.set_exception(std::current_exception());
@@ -233,7 +273,11 @@ void ModelRuntime::ServeBatch(std::vector<Request>& batch) {
     for (std::size_t s = 0; s < b; ++s) {
       Tensor one(model_->output_shape());
       std::copy_n(outputs.data() + s * out_stride, out_stride, one.data());
-      metrics_.RecordLatency(conforming[s]->queued.ElapsedMillis());
+      const double latency_ms = conforming[s]->queued.ElapsedMillis();
+      metrics_.RecordLatency(latency_ms);
+      obs::TraceInstantOn(trace_track_, "done", "serve",
+                          static_cast<std::uint64_t>(latency_ms * 1e3),
+                          static_cast<std::uint32_t>(b));
       conforming[s]->result.set_value(std::move(one));
       ++fulfilled;
     }

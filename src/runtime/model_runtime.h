@@ -32,6 +32,7 @@
 #include "milr/config.h"
 #include "milr/protector.h"
 #include "nn/model.h"
+#include "obs/trace.h"
 #include "runtime/metrics.h"
 #include "runtime/request_queue.h"
 #include "runtime/scrubber.h"
@@ -168,8 +169,18 @@ class ModelRuntime {
 
   // ------------------------------------------------------------ accessors
 
-  MetricsSnapshot Snapshot() const { return metrics_.Snapshot(); }
+  /// Counter snapshot plus the live gauges only this runtime can read
+  /// (instantaneous queue depth, workers currently mid-batch).
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot snap = metrics_.Snapshot();
+    snap.queue_depth = queue_.DepthRelaxed();
+    snap.in_flight_batches = in_flight_.load(std::memory_order_relaxed);
+    return snap;
+  }
   Metrics& metrics() { return metrics_; }
+  /// Flight-recorder track id for this model (obs::Tracer), so the worker
+  /// pool can tag grant spans with the model they were granted for.
+  std::uint16_t trace_track() const { return trace_track_; }
   const nn::Model& model() const { return *model_; }
   core::MilrProtector& protector() { return *protector_; }
   const ModelRuntimeConfig& config() const { return config_; }
@@ -200,6 +211,7 @@ class ModelRuntime {
   nn::Model* model_;
   ModelRuntimeConfig config_;
   std::string name_;
+  std::uint16_t trace_track_ = 0;  // registered at construction
   std::unique_ptr<core::MilrProtector> protector_;
   mutable std::shared_mutex model_mutex_;
   std::mutex scrub_cycle_mutex_;  // serializes ScrubCycle across threads

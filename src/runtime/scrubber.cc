@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/model_runtime.h"
 
 namespace milr::runtime {
@@ -30,6 +31,7 @@ void Scrubber::Stop() {
 }
 
 void Scrubber::Loop() {
+  obs::Tracer::SetCurrentThreadName("scrubber");
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(wake_mutex_);
@@ -42,10 +44,16 @@ void Scrubber::Loop() {
 
 std::vector<ScrubReport> Scrubber::RunSweep() {
   std::lock_guard<std::mutex> sweep_lock(sweep_mutex_);
+  obs::TraceSpan sweep_span("sweep", "scrub");
   std::vector<ScrubReport> reports;
+  std::uint64_t flagged = 0;
+  std::uint32_t recovered = 0;
   for (const auto& runtime : targets_()) {
     reports.push_back(runtime->ScrubCycle());
+    flagged += reports.back().flagged_layers;
+    recovered += static_cast<std::uint32_t>(reports.back().recovered_layers);
   }
+  sweep_span.set_args(flagged, recovered);
   return reports;
 }
 

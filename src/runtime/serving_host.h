@@ -94,6 +94,11 @@ class ServingHost {
   /// per-model views come from ModelRuntime::Snapshot on the handles.
   MetricsSnapshot AggregateSnapshot() const;
 
+  /// Prometheus-style text exposition of every model's snapshot plus the
+  /// per-layer service-time aggregates (runtime/telemetry.h). This is
+  /// what a TelemetryReporter renders periodically.
+  std::string ExpositionText() const;
+
   /// Shared-pool size actually used (clamped >= 1).
   std::size_t worker_threads() const { return pool_->thread_count(); }
   bool pins_nested_parallelism() const {

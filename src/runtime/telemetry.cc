@@ -1,0 +1,162 @@
+#include "runtime/telemetry.h"
+
+#include <cstddef>
+
+#include "obs/profile.h"
+#include "runtime/model_runtime.h"
+#include "runtime/serving_host.h"
+
+namespace milr::runtime {
+namespace {
+
+std::string ModelLabel(const std::string& name) {
+  return "model=\"" + obs::EscapeLabelValue(name) + "\"";
+}
+
+/// One family whose per-model value is picked by `pick`.
+template <typename Pick>
+obs::MetricFamily Family(const char* name, const char* help, const char* type,
+                         const std::vector<std::string>& names,
+                         const std::vector<MetricsSnapshot>& parts,
+                         Pick pick) {
+  obs::MetricFamily family;
+  family.name = name;
+  family.help = help;
+  family.type = type;
+  family.samples.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    family.samples.push_back(
+        obs::MetricSample{ModelLabel(names[i]), pick(parts[i])});
+  }
+  return family;
+}
+
+}  // namespace
+
+std::vector<obs::MetricFamily> BuildPrometheusFamilies(
+    const std::vector<std::string>& names,
+    const std::vector<MetricsSnapshot>& parts) {
+  using S = MetricsSnapshot;
+  const auto u64 = [](std::uint64_t v) { return static_cast<double>(v); };
+  std::vector<obs::MetricFamily> out;
+  const auto add = [&](const char* name, const char* help, const char* type,
+                       auto pick) {
+    out.push_back(Family(name, help, type, names, parts, pick));
+  };
+  add("milr_requests_served_total", "Requests served since process start.",
+      "counter", [&](const S& s) { return u64(s.requests_served); });
+  add("milr_requests_rejected_total", "Requests shed at the queue bound.",
+      "counter", [&](const S& s) { return u64(s.requests_rejected); });
+  add("milr_scheduler_grants_total",
+      "Worker grants the scheduler handed this model.", "counter",
+      [&](const S& s) { return u64(s.scheduler_grants); });
+  add("milr_linger_skips_total",
+      "Batch lingers skipped because a co-hosted peer had backlog.",
+      "counter", [&](const S& s) { return u64(s.linger_skips); });
+  add("milr_queue_depth", "Requests waiting in the admission queue now.",
+      "gauge", [&](const S& s) { return u64(s.queue_depth); });
+  add("milr_in_flight_batches", "Workers currently serving this model.",
+      "gauge", [&](const S& s) { return u64(s.in_flight_batches); });
+  add("milr_scrub_cycles_total", "Scrub detect cycles run.", "counter",
+      [&](const S& s) { return u64(s.scrub_cycles); });
+  add("milr_detections_total", "Scrub cycles that flagged layers.",
+      "counter", [&](const S& s) { return u64(s.detections); });
+  add("milr_layers_flagged_total", "Layers flagged by detection.", "counter",
+      [&](const S& s) { return u64(s.layers_flagged); });
+  add("milr_recoveries_total", "Successful online recovery events.",
+      "counter", [&](const S& s) { return u64(s.recoveries); });
+  add("milr_layers_recovered_total", "Layers repaired online.", "counter",
+      [&](const S& s) { return u64(s.layers_recovered); });
+  add("milr_failed_recoveries_total", "Quarantines whose repair failed.",
+      "counter", [&](const S& s) { return u64(s.failed_recoveries); });
+  add("milr_faults_injected_total", "Fault-drive events against this model.",
+      "counter", [&](const S& s) { return u64(s.faults_injected); });
+  add("milr_corrupted_weights_total", "Weights hit by injected faults.",
+      "counter", [&](const S& s) { return u64(s.corrupted_weights); });
+  add("milr_uptime_seconds", "Wall time since the serving epoch started.",
+      "gauge", [](const S& s) { return s.uptime_seconds; });
+  add("milr_downtime_seconds_total", "Total quarantine time (all causes).",
+      "counter", [](const S& s) { return s.downtime_seconds; });
+  add("milr_availability", "1 - downtime/uptime over the serving epoch.",
+      "gauge", [](const S& s) { return s.availability; });
+  add("milr_mttr_seconds", "Mean time to repair (successful recoveries).",
+      "gauge", [](const S& s) { return s.mttr_seconds; });
+  add("milr_latency_mean_ms", "End-to-end latency mean, recent window.",
+      "gauge", [](const S& s) { return s.latency_mean_ms; });
+  add("milr_latency_p50_ms", "End-to-end latency p50, recent window.",
+      "gauge", [](const S& s) { return s.latency_p50_ms; });
+  add("milr_latency_p99_ms", "End-to-end latency p99, recent window.",
+      "gauge", [](const S& s) { return s.latency_p99_ms; });
+  add("milr_queue_wait_p50_ms", "Queue wait p50 (admission to pick-up).",
+      "gauge", [](const S& s) { return s.queue_wait_p50_ms; });
+  add("milr_queue_wait_p99_ms", "Queue wait p99 (admission to pick-up).",
+      "gauge", [](const S& s) { return s.queue_wait_p99_ms; });
+  add("milr_throughput_rps", "Epoch requests served per uptime second.",
+      "gauge", [](const S& s) { return s.throughput_rps; });
+  add("milr_batches_served_total", "Micro-batches executed.", "counter",
+      [&](const S& s) { return u64(s.batches_served); });
+  add("milr_batch_size_mean", "Mean requests per micro-batch.", "gauge",
+      [](const S& s) { return s.batch_size_mean; });
+  add("milr_batch_service_mean_ms", "Mean model time per micro-batch.",
+      "gauge", [](const S& s) { return s.batch_service_mean_ms; });
+  return out;
+}
+
+std::string RenderHostExposition(const ServingHost& host) {
+  const auto handles = host.models();
+  std::vector<std::string> names;
+  std::vector<MetricsSnapshot> parts;
+  names.reserve(handles.size());
+  parts.reserve(handles.size());
+  for (const auto& handle : handles) {
+    names.push_back(handle->name());
+    parts.push_back(handle->Snapshot());
+  }
+  std::vector<obs::MetricFamily> families =
+      BuildPrometheusFamilies(names, parts);
+
+  // Per-layer service-time aggregates from each model's profiler. Skipped
+  // while empty (profile bit never on) so the exposition stays compact.
+  obs::MetricFamily calls;
+  calls.name = "milr_layer_calls_total";
+  calls.help = "Batched forward invocations per layer.";
+  calls.type = "counter";
+  obs::MetricFamily seconds;
+  seconds.name = "milr_layer_service_seconds_total";
+  seconds.help = "Cumulative layer forward time.";
+  seconds.type = "counter";
+  obs::MetricFamily mean_us;
+  mean_us.name = "milr_layer_service_mean_us";
+  mean_us.help = "Mean per-invocation layer forward time.";
+  mean_us.type = "gauge";
+  for (const auto& handle : handles) {
+    const nn::Model& model = handle->model();
+    const obs::LayerProfiler& profiler = model.profiler();
+    for (std::size_t i = 0; i < profiler.size(); ++i) {
+      const obs::LayerProfile p = profiler.Read(i);
+      if (p.calls == 0) continue;
+      const std::string labels =
+          ModelLabel(handle->name()) + ",layer=\"" +
+          obs::EscapeLabelValue(model.layer(i).name()) + "\"";
+      calls.samples.push_back(
+          obs::MetricSample{labels, static_cast<double>(p.calls)});
+      seconds.samples.push_back(
+          obs::MetricSample{labels, static_cast<double>(p.nanos) / 1e9});
+      mean_us.samples.push_back(obs::MetricSample{
+          labels, static_cast<double>(p.nanos) / 1e3 /
+                      static_cast<double>(p.calls)});
+    }
+  }
+  if (!calls.samples.empty()) {
+    families.push_back(std::move(calls));
+    families.push_back(std::move(seconds));
+    families.push_back(std::move(mean_us));
+  }
+  return obs::RenderPrometheusText(families);
+}
+
+std::string ServingHost::ExpositionText() const {
+  return RenderHostExposition(*this);
+}
+
+}  // namespace milr::runtime

@@ -1,0 +1,35 @@
+// Bridge from runtime metrics to the obs exposition model.
+//
+// obs sits below the runtime in the dependency DAG (support -> obs -> nn
+// -> ... -> runtime), so obs/exposition.h defines only a generic
+// MetricFamily; this header owns the mapping from MetricsSnapshot fields
+// and per-layer profiles to labelled Prometheus series. ServingHost's
+// ExpositionText() and the examples' TelemetryReporter render through
+// here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "runtime/metrics.h"
+
+namespace milr::runtime {
+
+class ServingHost;
+
+/// Per-model labelled metric families from snapshots; names[i] labels
+/// parts[i] as model="<name>". Counters get a _total suffix per the
+/// Prometheus naming convention; live gauges (queue depth, in-flight
+/// batches, percentiles) do not.
+std::vector<obs::MetricFamily> BuildPrometheusFamilies(
+    const std::vector<std::string>& names,
+    const std::vector<MetricsSnapshot>& parts);
+
+/// Full host exposition: every model's snapshot families plus per-layer
+/// service-time aggregates (milr_layer_*) read from each model's
+/// LayerProfiler. Layer series appear once layer profiling has run (the
+/// obs profile bit — Tracer::Enable or EnableProfiling).
+std::string RenderHostExposition(const ServingHost& host);
+
+}  // namespace milr::runtime

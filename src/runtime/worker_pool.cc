@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/trace.h"
 #include "runtime/model_runtime.h"
 
 namespace milr::runtime {
@@ -206,7 +208,7 @@ void WorkerPool::Start() {
   scheduler_->EndShutdown();
   workers_.reserve(threads_);
   for (std::size_t i = 0; i < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -218,7 +220,8 @@ void WorkerPool::Stop() {
   workers_.clear();
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(std::size_t index) {
+  obs::Tracer::SetCurrentThreadName("worker_" + std::to_string(index));
   // When the worker pool alone covers the cores, nested ParallelFor inside
   // PredictBatch (stacked im2col, GEMM row blocks, pools) would spawn up to
   // workers × cores transient threads per layer; pin those calls serial.
@@ -228,6 +231,9 @@ void WorkerPool::WorkerLoop() {
   if (pins_nested_parallelism()) serial.emplace();
 
   while (auto grant = scheduler_->NextWork()) {
+    grant->runtime->metrics().RecordGrant();
+    obs::TraceInstantOn(grant->runtime->trace_track(), "grant", "sched",
+                        grant->quota);
     std::size_t served = 0;
     try {
       // Scheduler-aware linger: lingering on this model's partial batch
@@ -235,9 +241,12 @@ void WorkerPool::WorkerLoop() {
       // Only consult the scheduler when a linger is actually configured —
       // with the default 0 the answer cannot change ServeSome's behavior,
       // and the scan would re-add per-grant scheduler-mutex traffic.
-      const bool allow_linger =
-          grant->runtime->config().batch_linger.count() == 0 ||
-          !scheduler_->HasPendingOther(grant->runtime.get());
+      bool allow_linger = true;
+      if (grant->runtime->config().batch_linger.count() != 0 &&
+          scheduler_->HasPendingOther(grant->runtime.get())) {
+        allow_linger = false;
+        grant->runtime->metrics().RecordLingerSkip();
+      }
       served = grant->runtime->ServeSome(grant->quota, allow_linger);
     } catch (...) {
       // Serve-path exceptions are routed into request promises inside

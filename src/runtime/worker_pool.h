@@ -145,7 +145,7 @@ class WorkerPool {
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t index);
 
   Scheduler* scheduler_;
   std::size_t threads_;

@@ -8,6 +8,7 @@
 
 #include "memory/fault_injector.h"
 #include "nn/init.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/fault_drive.h"
 #include "runtime/request_queue.h"
@@ -476,14 +477,29 @@ TEST(MetricsTest, JsonSnapshotCarriesEveryCounter) {
 
   const std::string json = snap.ToJson();
   for (const char* key :
-       {"requests_served", "requests_rejected", "scrub_cycles", "detections",
-        "layers_flagged", "recoveries", "layers_recovered",
+       {"requests_served", "requests_rejected", "scheduler_grants",
+        "linger_skips", "queue_depth", "in_flight_batches", "scrub_cycles",
+        "detections", "layers_flagged", "recoveries", "layers_recovered",
         "failed_recoveries", "faults_injected", "corrupted_weights",
         "uptime_seconds", "downtime_seconds", "availability",
-        "recovery_downtime_seconds", "mttr_seconds", "latency_mean_ms",
-        "latency_p50_ms", "latency_p99_ms", "throughput_rps"}) {
+        "recovery_downtime_seconds", "mttr_seconds", "approx_percentiles",
+        "latency_mean_ms", "latency_p50_ms", "latency_p99_ms",
+        "queue_wait_p50_ms", "queue_wait_p99_ms", "throughput_rps"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+}
+
+TEST(MetricsTest, GrantAndLingerSkipCountersSurface) {
+  Metrics metrics;
+  metrics.RecordGrant();
+  metrics.RecordGrant();
+  metrics.RecordLingerSkip();
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.scheduler_grants, 2u);
+  EXPECT_EQ(snap.linger_skips, 1u);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"scheduler_grants\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"linger_skips\": 1"), std::string::npos);
 }
 
 TEST(MetricsTest, DowntimeWithoutRecoveryLeavesMttrZero) {
@@ -568,6 +584,147 @@ TEST(MetricsTest, ZeroLayerRecoveryIsIgnored) {
   EXPECT_DOUBLE_EQ(snap.mttr_seconds, 0.0);
 }
 
+// --------------------------------------------------- AggregateSnapshots
+// Pins the documented aggregation math, including the request-weighted
+// percentile approximation and its "approx_percentiles" honesty marker.
+
+TEST(MetricsTest, AggregateSnapshotsEmptyIsZeroAndExact) {
+  const auto agg = AggregateSnapshots({});
+  EXPECT_EQ(agg.requests_served, 0u);
+  EXPECT_DOUBLE_EQ(agg.latency_p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(agg.availability, 1.0);
+  EXPECT_FALSE(agg.approx_percentiles)
+      << "an empty aggregate approximates nothing";
+}
+
+TEST(MetricsTest, AggregateSnapshotsSinglePartPassesThroughExactly) {
+  MetricsSnapshot one;
+  one.requests_served = 10;
+  one.latency_p50_ms = 2.5;
+  one.latency_p99_ms = 7.5;
+  one.queue_wait_p99_ms = 1.25;
+  one.availability = 0.875;
+  one.queue_depth = 3;
+  one.in_flight_batches = 2;
+  one.scheduler_grants = 11;
+  const auto agg = AggregateSnapshots({one});
+  EXPECT_DOUBLE_EQ(agg.latency_p50_ms, 2.5);
+  EXPECT_DOUBLE_EQ(agg.latency_p99_ms, 7.5);
+  EXPECT_DOUBLE_EQ(agg.queue_wait_p99_ms, 1.25);
+  EXPECT_DOUBLE_EQ(agg.availability, 0.875);
+  EXPECT_EQ(agg.queue_depth, 3u);
+  EXPECT_EQ(agg.in_flight_batches, 2u);
+  EXPECT_EQ(agg.scheduler_grants, 11u);
+  EXPECT_FALSE(agg.approx_percentiles)
+      << "one part's percentiles are exact, not approximated";
+}
+
+TEST(MetricsTest, AggregateSnapshotsSkewedTrafficWeightsByRequests) {
+  MetricsSnapshot hot;
+  hot.requests_served = 900;
+  hot.latency_p99_ms = 10.0;
+  hot.queue_wait_p99_ms = 2.0;
+  hot.availability = 1.0;
+  hot.throughput_rps = 90.0;
+  hot.queue_depth = 5;
+  MetricsSnapshot cold;
+  cold.requests_served = 100;
+  cold.latency_p99_ms = 110.0;
+  cold.queue_wait_p99_ms = 42.0;
+  cold.availability = 0.5;
+  cold.throughput_rps = 10.0;
+  cold.queue_depth = 1;
+
+  const auto agg = AggregateSnapshots({hot, cold});
+  EXPECT_EQ(agg.requests_served, 1000u);
+  // Request-weighted: (900*10 + 100*110) / 1000 — the hot model dominates.
+  EXPECT_NEAR(agg.latency_p99_ms, 20.0, 1e-9);
+  EXPECT_NEAR(agg.queue_wait_p99_ms, 6.0, 1e-9);
+  // Availability is the per-model mean (each model is its own SLO).
+  EXPECT_NEAR(agg.availability, 0.75, 1e-12);
+  EXPECT_NEAR(agg.throughput_rps, 100.0, 1e-9);
+  EXPECT_EQ(agg.queue_depth, 6u);  // gauges sum across models
+  EXPECT_TRUE(agg.approx_percentiles);
+  EXPECT_NE(agg.ToJson().find("\"approx_percentiles\": true"),
+            std::string::npos)
+      << "the approximation caveat must be visible in the JSON itself";
+}
+
+TEST(InferenceEngineTest, SnapshotCarriesLiveQueueDepthGauge) {
+  nn::Model model = TestModel();
+  const auto probes = Probes(model, 3);
+  EngineConfig config;
+  config.scrubber_enabled = false;
+  InferenceEngine engine(model, config);
+  std::vector<std::future<Tensor>> futures;
+  for (const auto& probe : probes) futures.push_back(engine.Submit(probe));
+  // Not started yet: all three requests sit in the queue.
+  EXPECT_EQ(engine.Snapshot().queue_depth, 3u);
+  engine.Start();
+  for (auto& future : futures) future.get();
+  engine.Stop();
+  const auto snap = engine.Snapshot();
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_EQ(snap.in_flight_batches, 0u);
+  EXPECT_GE(snap.scheduler_grants, 1u);
+}
+
+// ------------------------------------------------------ trace coverage
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Span coverage: with the flight recorder on, every served request leaves
+// an enqueue instant and a done instant, batches leave complete spans
+// (begin + duration in one "X" event, so nothing can be orphaned), layer
+// execution leaves per-layer spans, and a scrub cycle is visible.
+TEST(TraceCoverageTest, EveryServedRequestAppearsInTheTrace) {
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable(1u << 12);
+
+  constexpr std::size_t kRequests = 32;
+  {
+    nn::Model model = TestModel();
+    const auto probes = Probes(model, 1);
+    EngineConfig config;
+    config.worker_threads = 2;
+    config.scrubber_enabled = false;
+    InferenceEngine engine(model, config);
+    engine.Start();
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(kRequests);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      futures.push_back(engine.Submit(probes[0]));
+    }
+    for (auto& future : futures) future.get();
+    engine.ScrubNow();
+    engine.Stop();
+  }
+  tracer.Disable();
+  const std::string json = tracer.ChromeTraceJson();
+  tracer.Clear();
+
+  EXPECT_EQ(CountOccurrences(json, "\"name\": \"enqueue\""), kRequests);
+  EXPECT_EQ(CountOccurrences(json, "\"name\": \"done\""), kRequests);
+  EXPECT_GE(CountOccurrences(json, "\"name\": \"batch\""), 1u);
+  EXPECT_GE(CountOccurrences(json, "\"name\": \"grant\""), 1u);
+  EXPECT_GE(CountOccurrences(json, "\"name\": \"scrub_cycle\""), 1u);
+  // Per-layer spans: the test model has dense and conv2d layers, and layer
+  // spans carry the kernel tier as their category.
+  EXPECT_GE(CountOccurrences(json, "\"name\": \"dense\""), 1u);
+  EXPECT_GE(CountOccurrences(json, "\"name\": \"conv2d\""), 1u);
+  EXPECT_GE(CountOccurrences(json, "\"cat\": \"exact\""), 1u);
+  // Worker threads are named in the trace metadata.
+  EXPECT_GE(CountOccurrences(json, "\"worker_0\""), 1u);
+}
+
 // ------------------------------------------------------- JSON strictness
 
 // Minimal strict parser for the snapshot's JSON subset: objects whose
@@ -641,6 +798,8 @@ std::size_t ParseJsonValue(const std::string& s, std::size_t pos) {
   if (pos >= s.size()) return std::string::npos;
   if (s[pos] == '{') return ParseJsonObject(s, pos);
   if (s[pos] == '"') return ParseJsonString(s, pos);
+  if (s.compare(pos, 4, "true") == 0) return pos + 4;
+  if (s.compare(pos, 5, "false") == 0) return pos + 5;
   return ParseJsonNumber(s, pos);
 }
 

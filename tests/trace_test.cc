@@ -1,0 +1,489 @@
+// Tests for the obs layer: flight-recorder tracer (lock-free emit, ring
+// wraparound, race-free export — run under TSan in CI), Chrome trace JSON
+// validity, the layer profiler, Prometheus text exposition and the
+// periodic telemetry reporter.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "nn/model.h"
+#include "obs/exposition.h"
+#include "obs/profile.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
+#include "support/prng.h"
+#include "tensor/tensor.h"
+
+namespace milr::obs {
+namespace {
+
+// The Tracer is a process-wide singleton; every test that records starts a
+// fresh recording with Enable() and leaves the tracer disabled + cleared.
+struct TracerGuard {
+  explicit TracerGuard(std::size_t ring = 1u << 10) {
+    Tracer::Get().Enable(ring);
+  }
+  ~TracerGuard() {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+// ------------------------------------------------- strict JSON validation
+// Minimal recursive-descent JSON parser: accepts exactly one value and
+// rejects trailing garbage, unterminated strings, bad escapes and bare
+// words. Enough to prove the exporter emits valid JSON (Perfetto and
+// chrome://tracing both use strict parsers).
+
+std::size_t SkipWs(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                            s[pos] == '\n' || s[pos] == '\r')) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::size_t ParseValue(const std::string& s, std::size_t pos);
+
+std::size_t ParseString(const std::string& s, std::size_t pos) {
+  if (pos >= s.size() || s[pos] != '"') return std::string::npos;
+  ++pos;
+  while (pos < s.size()) {
+    const char c = s[pos];
+    if (c == '"') return pos + 1;
+    if (c == '\\') {
+      ++pos;
+      if (pos >= s.size()) return std::string::npos;
+      const char esc = s[pos];
+      if (esc == 'u') {
+        for (int i = 1; i <= 4; ++i) {
+          if (pos + i >= s.size() || !std::isxdigit(s[pos + i])) {
+            return std::string::npos;
+          }
+        }
+        pos += 4;
+      } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+        return std::string::npos;
+      }
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      return std::string::npos;  // raw control character
+    }
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t ParseNumber(const std::string& s, std::size_t pos) {
+  const std::size_t start = pos;
+  if (pos < s.size() && s[pos] == '-') ++pos;
+  if (pos >= s.size() || !std::isdigit(s[pos])) return std::string::npos;
+  if (s[pos] == '0') {
+    ++pos;
+  } else {
+    while (pos < s.size() && std::isdigit(s[pos])) ++pos;
+  }
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    if (pos >= s.size() || !std::isdigit(s[pos])) return std::string::npos;
+    while (pos < s.size() && std::isdigit(s[pos])) ++pos;
+  }
+  if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+    ++pos;
+    if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+    if (pos >= s.size() || !std::isdigit(s[pos])) return std::string::npos;
+    while (pos < s.size() && std::isdigit(s[pos])) ++pos;
+  }
+  return pos > start ? pos : std::string::npos;
+}
+
+std::size_t ParseArray(const std::string& s, std::size_t pos) {
+  ++pos;  // '['
+  pos = SkipWs(s, pos);
+  if (pos < s.size() && s[pos] == ']') return pos + 1;
+  while (true) {
+    pos = ParseValue(s, pos);
+    if (pos == std::string::npos) return std::string::npos;
+    pos = SkipWs(s, pos);
+    if (pos >= s.size()) return std::string::npos;
+    if (s[pos] == ']') return pos + 1;
+    if (s[pos] != ',') return std::string::npos;
+    pos = SkipWs(s, pos + 1);
+  }
+}
+
+std::size_t ParseObject(const std::string& s, std::size_t pos) {
+  ++pos;  // '{'
+  pos = SkipWs(s, pos);
+  if (pos < s.size() && s[pos] == '}') return pos + 1;
+  while (true) {
+    pos = ParseString(s, pos);
+    if (pos == std::string::npos) return std::string::npos;
+    pos = SkipWs(s, pos);
+    if (pos >= s.size() || s[pos] != ':') return std::string::npos;
+    pos = ParseValue(s, SkipWs(s, pos + 1));
+    if (pos == std::string::npos) return std::string::npos;
+    pos = SkipWs(s, pos);
+    if (pos >= s.size()) return std::string::npos;
+    if (s[pos] == '}') return pos + 1;
+    if (s[pos] != ',') return std::string::npos;
+    pos = SkipWs(s, pos + 1);
+  }
+}
+
+std::size_t ParseValue(const std::string& s, std::size_t pos) {
+  pos = SkipWs(s, pos);
+  if (pos >= s.size()) return std::string::npos;
+  const char c = s[pos];
+  if (c == '{') return ParseObject(s, pos);
+  if (c == '[') return ParseArray(s, pos);
+  if (c == '"') return ParseString(s, pos);
+  if (s.compare(pos, 4, "true") == 0) return pos + 4;
+  if (s.compare(pos, 5, "false") == 0) return pos + 5;
+  if (s.compare(pos, 4, "null") == 0) return pos + 4;
+  return ParseNumber(s, pos);
+}
+
+::testing::AssertionResult IsStrictJson(const std::string& s) {
+  const std::size_t end = ParseValue(s, 0);
+  if (end == std::string::npos) {
+    return ::testing::AssertionFailure() << "JSON parse error in:\n" << s;
+  }
+  if (SkipWs(s, end) != s.size()) {
+    return ::testing::AssertionFailure()
+           << "trailing garbage after JSON value at offset " << end;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------- tracer
+
+TEST(TracerTest, DisabledPathEmitsNothing) {
+  auto& tracer = Tracer::Get();
+  tracer.Disable();
+  tracer.Clear();
+  ASSERT_FALSE(TracingEnabled());
+  EXPECT_EQ(InstrumentationBits(), 0u);
+
+  TraceInstant("ignored", "test", 1, 2);
+  {
+    TraceSpan span("ignored_span", "test");
+    span.set_args(3, 4);
+  }
+  tracer.EmitInstant("ignored_direct", "test", 0, 0, 0);
+
+  const auto stats = tracer.GetStats();
+  EXPECT_EQ(stats.emitted, 0u);
+  EXPECT_EQ(stats.recorded, 0u);
+  // An empty recording still exports a valid (empty) trace document.
+  EXPECT_TRUE(IsStrictJson(tracer.ChromeTraceJson()));
+}
+
+TEST(TracerTest, SpanAndInstantRoundTripIntoExport) {
+  TracerGuard guard;
+  ASSERT_TRUE(TracingEnabled());
+  EXPECT_EQ(InstrumentationBits(), kTraceBit | kProfileBit);
+
+  {
+    TraceSpan span("unit_span", "scrub");
+    span.set_args(7, 9);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  TraceInstant("unit_instant", "request", 5);
+
+  auto& tracer = Tracer::Get();
+  const auto stats = tracer.GetStats();
+  EXPECT_EQ(stats.emitted, 2u);
+  EXPECT_EQ(stats.recorded, 2u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GE(stats.threads, 1u);
+
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(IsStrictJson(json));
+  EXPECT_NE(json.find("\"name\": \"unit_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit_instant\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  // scrub-category args render under their semantic names.
+  EXPECT_NE(json.find("\"flagged\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"recovered\": 9"), std::string::npos);
+}
+
+TEST(TracerTest, RingWraparoundKeepsMostRecentEvents) {
+  // 64 is the minimum ring size; emit far more than fits.
+  TracerGuard guard(64);
+  auto& tracer = Tracer::Get();
+  constexpr std::uint64_t kTotal = 500;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    tracer.EmitInstant("wrap", "test", i, 0, 0);
+  }
+  const auto stats = tracer.GetStats();
+  EXPECT_EQ(stats.emitted, kTotal);
+  EXPECT_EQ(stats.recorded, 64u);
+  EXPECT_EQ(stats.dropped, kTotal - 64);
+
+  // The survivors are exactly the newest 64: a = 436..499.
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(IsStrictJson(json));
+  EXPECT_EQ(json.find("\"a\": 435"), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 436"), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 499"), std::string::npos);
+}
+
+TEST(TracerTest, ConcurrentEmittersAndDumperAreRaceFree) {
+  // The TSan job leans on this test: several threads hammer small rings
+  // (forcing wraparound) while the main thread repeatedly exports and a
+  // late thread joins mid-recording.
+  TracerGuard guard(128);
+  auto& tracer = Tracer::Get();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&go, &tracer, t] {
+      Tracer::SetCurrentThreadName("emitter_" + std::to_string(t));
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        if ((i & 1) == 0) {
+          tracer.EmitInstant("tick", "test", i, static_cast<std::uint32_t>(t),
+                             0);
+        } else {
+          const std::uint64_t now = TraceNowNanos();
+          tracer.EmitSpan("work", "test", now, 10, i,
+                          static_cast<std::uint32_t>(t), 0);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Export concurrently with the emitters: recording pauses, copies,
+  // resumes. Every export must still be valid JSON.
+  for (int dump = 0; dump < 5; ++dump) {
+    EXPECT_TRUE(IsStrictJson(tracer.ChromeTraceJson()));
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = tracer.GetStats();
+  // Dumps drop the trace bit briefly, so some emits may be skipped — but
+  // most land, every thread registered, and rings hold at most capacity.
+  EXPECT_GT(stats.emitted, static_cast<std::uint64_t>(kThreads) * kPerThread / 2);
+  EXPECT_GE(stats.threads, static_cast<std::size_t>(kThreads));
+  EXPECT_LE(stats.recorded, stats.threads * 128u);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(IsStrictJson(json));
+  EXPECT_NE(json.find("\"emitter_0\""), std::string::npos);
+  EXPECT_NE(json.find("\"emitter_3\""), std::string::npos);
+}
+
+TEST(TracerTest, ReEnableStartsFreshRecording) {
+  auto& tracer = Tracer::Get();
+  tracer.Enable(256);
+  TraceInstant("first_recording", "test");
+  EXPECT_EQ(tracer.GetStats().emitted, 1u);
+
+  tracer.Enable(256);  // fresh recording: prior events are gone
+  const auto stats = tracer.GetStats();
+  EXPECT_EQ(stats.emitted, 0u);
+  EXPECT_EQ(stats.recorded, 0u);
+  TraceInstant("second_recording", "test");
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_EQ(json.find("first_recording"), std::string::npos);
+  EXPECT_NE(json.find("second_recording"), std::string::npos);
+  tracer.Disable();
+  tracer.Clear();
+}
+
+TEST(TracerTest, TracksLabelEventsWithModelName) {
+  TracerGuard guard;
+  auto& tracer = Tracer::Get();
+  const std::uint16_t track = tracer.RegisterTrack("resnet_tiny");
+  EXPECT_GT(track, 0u);
+  EXPECT_EQ(tracer.TrackName(track), "resnet_tiny");
+  {
+    ScopedTrack scope(track);
+    EXPECT_EQ(CurrentTrack(), track);
+    TraceInstant("scoped", "request", 1);
+  }
+  EXPECT_EQ(CurrentTrack(), 0u);
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(IsStrictJson(json));
+  EXPECT_NE(json.find("\"model\": \"resnet_tiny\""), std::string::npos);
+}
+
+TEST(TracerTest, WriteChromeTraceProducesLoadableFile) {
+  TracerGuard guard;
+  TraceInstant("file_event", "test", 42);
+  const std::string path =
+      ::testing::TempDir() + "/milr_trace_test_output.json";
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_TRUE(IsStrictJson(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"file_event\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- layer profiler
+
+TEST(LayerProfilerTest, AccumulatesAcrossThreads) {
+  LayerProfiler profiler;
+  profiler.Reset(3);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        profiler.Record(1, 10, 2);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const LayerProfile p = profiler.Read(1);
+  EXPECT_EQ(p.calls, kThreads * kPerThread);
+  EXPECT_EQ(p.nanos, kThreads * kPerThread * 10);
+  EXPECT_EQ(p.samples, kThreads * kPerThread * 2);
+  EXPECT_EQ(profiler.Read(0).calls, 0u);
+  // Out-of-range records and reads are ignored, not UB.
+  profiler.Record(99, 1, 1);
+  EXPECT_EQ(profiler.Read(99).calls, 0u);
+}
+
+TEST(LayerProfilerTest, PredictBatchFeedsProfilerAndLayerSpans) {
+  nn::Model model(Shape{4});
+  model.AddDense(8).AddReLU().AddDense(2);
+  nn::InitHeUniform(model, 7);
+  Prng prng(99);
+  Tensor batch = RandomTensor(Shape{3, 4}, prng);
+
+  // Instrumentation off: one relaxed load, no samples recorded.
+  Tracer::Get().Disable();
+  Tracer::Get().Clear();
+  model.PredictBatch(batch);
+  EXPECT_EQ(model.profiler().Read(0).calls, 0u);
+
+  TracerGuard guard;
+  model.PredictBatch(batch);
+  model.PredictBatch(std::move(batch));
+  for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+    const LayerProfile p = model.profiler().Read(i);
+    EXPECT_EQ(p.calls, 2u) << "layer " << i;
+    EXPECT_EQ(p.samples, 6u) << "layer " << i;  // 2 calls x batch of 3
+  }
+  const std::string json = Tracer::Get().ChromeTraceJson();
+  EXPECT_TRUE(IsStrictJson(json));
+  EXPECT_EQ(CountOccurrences(json, "\"name\": \"dense\""), 4u);
+  EXPECT_EQ(CountOccurrences(json, "\"name\": \"relu\""), 2u);
+  EXPECT_NE(json.find("\"cat\": \"exact\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch\": 3"), std::string::npos);
+}
+
+// ------------------------------------------------------------- exposition
+
+TEST(ExpositionTest, RendersPrometheusTextFormat) {
+  MetricFamily counter;
+  counter.name = "milr_requests_served_total";
+  counter.help = "Requests served.";
+  counter.type = "counter";
+  counter.samples.push_back(MetricSample{"model=\"m0\"", 42.0});
+  counter.samples.push_back(MetricSample{"model=\"m1\"", 7.0});
+  MetricFamily gauge;
+  gauge.name = "milr_queue_depth";
+  gauge.help = "Depth now.";
+  gauge.samples.push_back(MetricSample{"", 3.5});
+
+  const std::string text = RenderPrometheusText({counter, gauge});
+  EXPECT_NE(text.find("# HELP milr_requests_served_total Requests served.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE milr_requests_served_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("milr_requests_served_total{model=\"m0\"} 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("milr_requests_served_total{model=\"m1\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE milr_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("milr_queue_depth 3.5\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ExpositionTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+// --------------------------------------------------------------- reporter
+
+TEST(TelemetryReporterTest, ReportNowInvokesSink) {
+  std::vector<std::string> reports;
+  TelemetryReporterConfig config;
+  TelemetryReporter reporter([] { return std::string("exposition 1\n"); },
+                             [&reports](const std::string& text) {
+                               reports.push_back(text);
+                             },
+                             config);
+  EXPECT_TRUE(reporter.ReportNow());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0], "exposition 1\n");
+  EXPECT_EQ(reporter.reports(), 1u);
+}
+
+TEST(TelemetryReporterTest, PeriodicReportsAndFinalFlush) {
+  std::atomic<int> count{0};
+  TelemetryReporterConfig config;
+  config.period = std::chrono::milliseconds(5);
+  TelemetryReporter reporter([] { return std::string("tick\n"); },
+                             [&count](const std::string&) { ++count; },
+                             config);
+  reporter.Start();
+  while (count.load() < 3) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  reporter.Stop();  // prompt, flushes one final report
+  const int at_stop = count.load();
+  EXPECT_GE(at_stop, 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(count.load(), at_stop) << "reports after Stop()";
+}
+
+TEST(TelemetryReporterTest, WritesExpositionFileAtomically) {
+  const std::string path =
+      ::testing::TempDir() + "/milr_reporter_test.prom";
+  TelemetryReporterConfig config;
+  config.path = path;
+  TelemetryReporter reporter(
+      [] { return std::string("milr_up 1\n"); }, config);
+  EXPECT_TRUE(reporter.ReportNow());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "milr_up 1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace milr::obs
