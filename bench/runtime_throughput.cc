@@ -40,13 +40,17 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/networks.h"
+#include "data/synthetic.h"
 #include "nn/init.h"
 #include "nn/kernel_config.h"
+#include "nn/kernel_registry.h"
 #include "nn/model.h"
+#include "nn/train.h"
 #include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/serving_host.h"
@@ -249,6 +253,191 @@ std::vector<ModelSweepRow> RunModelSweep(
     rows.push_back(row);
   }
   return rows;
+}
+
+// ------------------------------------------------- registry vs fixed plans
+//
+// The kernel registry's acceptance number: per-call time of the fast and
+// int8 tiers served from autotuned registry plans versus the legacy
+// fixed-constant dispatch (Pin::kFixed reproduces the pre-registry kernel
+// selection and blocking exactly). The registry must never lose to the
+// constants it replaced — the comparator holds each ratio at >= 1.0 within
+// run-to-run noise. Autotune cost (plans tuned, total wall ms) and the
+// per-layer plan descriptions are reported alongside, so the one-time
+// configuration cost and the winners themselves are visible in CI logs.
+
+struct RegistryResult {
+  double fast_fixed_ms = 0.0;
+  double fast_registry_ms = 0.0;
+  double int8_fixed_ms = 0.0;
+  double int8_registry_ms = 0.0;
+  std::size_t plans = 0;
+  std::size_t tuned = 0;
+  double total_tune_ms = 0.0;
+  std::vector<std::string> kernels;  // per-layer plan descriptions
+};
+
+RegistryResult RunRegistryVsFixed(milr::nn::Model& model, std::size_t batch,
+                                  double seconds) {
+  using namespace milr;
+  auto& registry = nn::KernelRegistry::Get();
+  const auto saved_pin = registry.pin();
+  Prng prng(29);
+  Tensor probe = RandomTensor(WithBatchAxis(batch, model.input_shape()),
+                              prng);
+  const auto time_tier = [&](nn::KernelConfig tier) {
+    model.set_kernel_config(tier);  // (re)fetches plans, warms caches
+    model.PredictBatch(probe);
+    // Best of two timing windows: the A/B ratio against fixed dispatch is
+    // held to a tight floor by the comparator, so each side gets the
+    // minimum over two loops to shed one-off scheduling interference.
+    double best = 1e30;
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(seconds);
+      std::size_t calls = 0;
+      const auto start = std::chrono::steady_clock::now();
+      while (std::chrono::steady_clock::now() < deadline) {
+        model.PredictBatch(probe);
+        ++calls;
+      }
+      best = std::min(
+          best, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                        .count() /
+                    static_cast<double>(calls) * 1e3);
+    }
+    return best;
+  };
+
+  RegistryResult result;
+  registry.set_pin(nn::KernelRegistry::Pin::kFixed);
+  registry.Reset();
+  result.fast_fixed_ms = time_tier(nn::KernelConfig::kFast);
+  result.int8_fixed_ms = time_tier(nn::KernelConfig::kInt8);
+
+  registry.set_pin(nn::KernelRegistry::Pin::kNone);
+  registry.Reset();
+  result.fast_registry_ms = time_tier(nn::KernelConfig::kFast);
+  result.kernels = model.KernelDescriptions();
+  result.int8_registry_ms = time_tier(nn::KernelConfig::kInt8);
+
+  const auto stats = registry.stats();
+  result.plans = stats.plans;
+  result.tuned = stats.tuned;
+  result.total_tune_ms = stats.total_tune_ms;
+
+  registry.set_pin(saved_pin);
+  model.set_kernel_config(nn::KernelConfig::kExact);
+  std::printf("registry vs fixed dispatch (single thread, batch=%zu):\n"
+              "  fast  fixed %8.3f ms  registry %8.3f ms  "
+              "registry/fixed=%.2fx\n"
+              "  int8  fixed %8.3f ms  registry %8.3f ms  "
+              "registry/fixed=%.2fx\n"
+              "  autotune: %zu plans (%zu tuned) in %.1f ms total\n",
+              batch, result.fast_fixed_ms, result.fast_registry_ms,
+              result.fast_registry_ms > 0.0
+                  ? result.fast_fixed_ms / result.fast_registry_ms
+                  : 0.0,
+              result.int8_fixed_ms, result.int8_registry_ms,
+              result.int8_registry_ms > 0.0
+                  ? result.int8_fixed_ms / result.int8_registry_ms
+                  : 0.0,
+              result.plans, result.tuned, result.total_tune_ms);
+  for (const std::string& line : result.kernels) {
+    std::printf("  plan: %s\n", line.c_str());
+  }
+  return result;
+}
+
+// ----------------------------------------------------- trained agreement
+//
+// The agreement sweeps above run on He-initialized weights, whose logit
+// gaps are tighter than anything a trained net produces — a conservative
+// bound, but not evidence about deployed checkpoints. This phase trains a
+// small MLP on the synthetic dataset (the paper's generator) and measures
+// fast/int8 top-1 agreement against exact on held-out samples: the
+// acceptance number for serving *trained* weights from the fast tiers.
+
+struct TrainedAgreementResult {
+  std::size_t samples = 0;
+  double train_accuracy = 0.0;
+  double fast_top1 = 1.0;
+  double int8_top1 = 1.0;
+};
+
+TrainedAgreementResult RunTrainedAgreement(bool smoke) {
+  using namespace milr;
+  data::SyntheticSpec spec;
+  spec.image_size = 12;
+  spec.seed = 7;
+  const std::size_t train_count = smoke ? 160 : 480;
+  const std::size_t test_count = smoke ? 64 : 256;
+  nn::Dataset all = data::GenerateSynthetic(spec,
+                                            train_count + test_count);
+  nn::Dataset train, test;
+  for (std::size_t i = 0; i < train_count; ++i) {
+    train.images.push_back(std::move(all.images[i]));
+    train.labels.push_back(all.labels[i]);
+  }
+  for (std::size_t i = train_count; i < all.size(); ++i) {
+    test.images.push_back(std::move(all.images[i]));
+    test.labels.push_back(all.labels[i]);
+  }
+
+  nn::Model model(Shape{spec.image_size, spec.image_size, 1});
+  model.AddFlatten();
+  model.AddDense(64).AddBias().AddReLU();
+  model.AddDense(spec.num_classes).AddBias();
+  nn::InitHeUniform(model, /*seed=*/11);
+  nn::TrainConfig config;
+  config.epochs = smoke ? 2 : 4;
+  config.batch_size = 32;
+  config.learning_rate = 0.05f;
+  nn::Fit(model, train, config);
+
+  TrainedAgreementResult result;
+  result.samples = test.size();
+  result.train_accuracy = nn::Evaluate(model, train);
+
+  const std::size_t stride = model.input_shape().NumElements();
+  Tensor batch(WithBatchAxis(test.size(), model.input_shape()));
+  for (std::size_t s = 0; s < test.size(); ++s) {
+    std::memcpy(batch.data() + s * stride, test.images[s].data(),
+                stride * sizeof(float));
+  }
+  model.set_kernel_config(nn::KernelConfig::kExact);
+  const Tensor exact = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kFast);
+  const Tensor fast = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor int8 = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kExact);
+
+  const std::size_t classes = exact.size() / test.size();
+  const auto top1 = [&](const Tensor& t, std::size_t s) {
+    const float* row = t.data() + s * classes;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < classes; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    return best;
+  };
+  std::size_t fast_agree = 0, int8_agree = 0;
+  for (std::size_t s = 0; s < test.size(); ++s) {
+    const std::size_t want = top1(exact, s);
+    fast_agree += (top1(fast, s) == want) ? 1 : 0;
+    int8_agree += (top1(int8, s) == want) ? 1 : 0;
+  }
+  result.fast_top1 =
+      static_cast<double>(fast_agree) / static_cast<double>(test.size());
+  result.int8_top1 =
+      static_cast<double>(int8_agree) / static_cast<double>(test.size());
+  std::printf("trained-net top-1 agreement vs exact (%zu held-out "
+              "samples, train acc %.3f): fast %.4f  int8 %.4f\n",
+              result.samples, result.train_accuracy, result.fast_top1,
+              result.int8_top1);
+  return result;
 }
 
 /// Top-1 agreement of the fast and int8 tiers against the exact tier on
@@ -547,7 +736,9 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
                     std::size_t clients, std::size_t workers,
                     double seconds, double weight_mb,
                     const std::vector<ModelSweepRow>& sweep,
+                    const RegistryResult& registry,
                     const AgreementResult& agreement,
+                    const TrainedAgreementResult& trained,
                     const std::vector<PhaseRow>& phases,
                     const std::vector<CoHostRow>& cohost,
                     const TracingOverheadResult& tracing) {
@@ -581,11 +772,39 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
         row.per_call[2] > 0.0 ? row.per_call[1] / row.per_call[2] : 0.0);
   }
   std::fprintf(f, "\n  ],\n");
+  std::fprintf(
+      f,
+      "  \"registry\": {\"fast_fixed_ms\": %.6f, "
+      "\"fast_registry_ms\": %.6f, \"fast_registry_over_fixed\": %.4f, "
+      "\"int8_fixed_ms\": %.6f, \"int8_registry_ms\": %.6f, "
+      "\"int8_registry_over_fixed\": %.4f, \"autotune_plans\": %zu, "
+      "\"autotune_tuned\": %zu, \"autotune_total_ms\": %.3f, "
+      "\"kernels\": [",
+      registry.fast_fixed_ms, registry.fast_registry_ms,
+      registry.fast_registry_ms > 0.0
+          ? registry.fast_fixed_ms / registry.fast_registry_ms
+          : 0.0,
+      registry.int8_fixed_ms, registry.int8_registry_ms,
+      registry.int8_registry_ms > 0.0
+          ? registry.int8_fixed_ms / registry.int8_registry_ms
+          : 0.0,
+      registry.plans, registry.tuned, registry.total_tune_ms);
+  for (std::size_t i = 0; i < registry.kernels.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 registry.kernels[i].c_str());
+  }
+  std::fprintf(f, "]},\n");
   std::fprintf(f,
                "  \"top1_agreement\": {\"samples\": %zu, "
                "\"fast_vs_exact\": %.6f, \"int8_vs_exact\": %.6f},\n",
                agreement.samples, agreement.fast_top1,
                agreement.int8_top1);
+  std::fprintf(f,
+               "  \"trained_agreement\": {\"samples\": %zu, "
+               "\"train_accuracy\": %.6f, \"fast_vs_exact\": %.6f, "
+               "\"int8_vs_exact\": %.6f},\n",
+               trained.samples, trained.train_accuracy, trained.fast_top1,
+               trained.int8_top1);
   std::fprintf(f, "  \"phases\": [");
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseRow& row = phases[i];
@@ -664,8 +883,11 @@ int main(int argc, char** argv) {
 
   const std::vector<ModelSweepRow> sweep =
       RunModelSweep(model, batches, smoke ? 0.1 : 0.5);
+  const RegistryResult registry =
+      RunRegistryVsFixed(model, /*batch=*/8, smoke ? 0.1 : 0.5);
   const AgreementResult agreement =
       MeasureAgreement(model, smoke ? 64 : 256);
+  const TrainedAgreementResult trained = RunTrainedAgreement(smoke);
 
   // exact first (the baseline), then fast, then int8; per-batch results
   // are kept so the final table prints the fast/exact and int8/fast
@@ -723,7 +945,8 @@ int main(int argc, char** argv) {
     WriteBenchJson("BENCH_runtime.json", net, smoke, clients, workers,
                    seconds,
                    static_cast<double>(model.TotalParamBytes()) / 1e6,
-                   sweep, agreement, phase_rows, cohost, tracing);
+                   sweep, registry, agreement, trained, phase_rows, cohost,
+                   tracing);
   }
   return 0;
 }

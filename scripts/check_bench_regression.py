@@ -40,6 +40,14 @@ DEFAULT_TOLERANCES = {
     "ratio_rel_pct": 40.0,
     # Hard ceiling on flight-recorder overhead in percent of QPS.
     "tracing_overhead_pct_max": 25.0,
+    # The autotuned kernel registry must not lose to the fixed dispatch it
+    # replaced: registry/fixed per-call ratio floor, after noise. 1.0 minus
+    # ratio_rel_pct would be too lax for a same-process A/B of the same
+    # GEMMs, so this gets its own (tighter) knob.
+    "registry_over_fixed_min": 0.85,
+    # Hard ceiling on total autotune wall time (ms) across every plan the
+    # bench run tuned — the "bounded configuration cost" acceptance.
+    "autotune_total_ms_max": 5000.0,
     # Only used when enforce_absolute is true.
     "qps_rel_pct": 30.0,
     "p99_rel_pct": 75.0,
@@ -49,7 +57,9 @@ DEFAULT_TOLERANCES = {
 # baseline (net, tolerances, enforce_absolute) is policy and is kept.
 MEASURED_SECTIONS = (
     "model_sweep",
+    "registry",
     "top1_agreement",
+    "trained_agreement",
     "phases",
     "cohost",
     "tracing",
@@ -99,6 +109,29 @@ def compare(baseline, current):
         if key in base_top1 and key in cur_top1:
             floor = base_top1[key] - tol["top1_pct_points"] / 100.0
             comp.check_min(f"top1_agreement.{key}", cur_top1[key], floor)
+
+    # --- trained-net agreement: same floors as the He-init sweep, using
+    # the checkpoint actually produced by training in this run.
+    base_trained = baseline.get("trained_agreement", {})
+    cur_trained = current.get("trained_agreement", {})
+    for key in ("fast_vs_exact", "int8_vs_exact"):
+        if key in base_trained and key in cur_trained:
+            floor = base_trained[key] - tol["top1_pct_points"] / 100.0
+            comp.check_min(f"trained_agreement.{key}", cur_trained[key],
+                           floor)
+
+    # --- kernel registry: autotuned plans must not lose to the fixed
+    # dispatch they replaced (same process, same GEMMs -> a tight ratio),
+    # and the one-time autotune cost stays bounded.
+    cur_registry = current.get("registry", {})
+    for key in ("fast_registry_over_fixed", "int8_registry_over_fixed"):
+        if key in cur_registry:
+            comp.check_min(f"registry.{key}", cur_registry[key],
+                           tol["registry_over_fixed_min"])
+    if "autotune_total_ms" in cur_registry:
+        comp.check_max("registry.autotune_total_ms",
+                       cur_registry["autotune_total_ms"],
+                       tol["autotune_total_ms_max"])
 
     # --- kernel-tier ratios from the single-thread model sweep.
     ratio_scale = 1.0 - tol["ratio_rel_pct"] / 100.0

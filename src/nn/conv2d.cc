@@ -74,6 +74,24 @@ Conv2DLayer::Conv2DLayer(std::size_t filter_size, std::size_t in_channels,
   }
 }
 
+void Conv2DLayer::set_kernel_config(KernelConfig config) {
+  Layer::set_kernel_config(config);
+  if (config != KernelConfig::kExact) {
+    plan_ = KernelRegistry::Get().PlanFor(PatchLength(), out_channels_);
+    has_plan_ = true;
+  }
+}
+
+std::string Conv2DLayer::KernelDescription() const {
+  std::string desc = KernelConfigName(kernel_config());
+  if (has_plan_ && kernel_config() != KernelConfig::kExact) {
+    desc += "[";
+    desc += DescribeGemmPlan(plan_);
+    desc += "]";
+  }
+  return desc;
+}
+
 std::size_t Conv2DLayer::pad() const {
   return padding_ == Padding::kSame ? (filter_size_ - 1) / 2 : 0;
 }
@@ -251,10 +269,16 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
       if (pad() > 0) std::fill_n(scratch.data(), count * plen, 0.0f);
       Im2ColRowsInto(input.data() + s * in_stride, m, row_begin, count,
                      scratch.data());
-      GemmAccumulate(kernel, scratch.data(), filters_.data(),
-                     out.data() + (s * sample_rows + row_begin) *
-                                      out_channels_,
-                     count, plen, out_channels_);
+      float* cout =
+          out.data() + (s * sample_rows + row_begin) * out_channels_;
+      if (kernel == KernelConfig::kExact) {
+        GemmAccumulate(kernel, scratch.data(), filters_.data(), cout, count,
+                       plen, out_channels_);
+      } else {
+        RunFastGemm(has_plan_ ? &plan_ : nullptr, scratch.data(),
+                    filters_.data(), nullptr, cout, count, plen,
+                    out_channels_);
+      }
     });
     return out;
   }
@@ -273,9 +297,15 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
   ParallelFor(0, blocks, [&](std::size_t blk) {
     const std::size_t begin = blk * kBlockRows;
     const std::size_t count = std::min(kBlockRows, rows - begin);
-    GemmAccumulate(kernel, patches.data() + begin * plen, filters_.data(),
-                   out.data() + begin * out_channels_, count, plen,
-                   out_channels_);
+    if (kernel == KernelConfig::kExact) {
+      GemmAccumulate(kernel, patches.data() + begin * plen, filters_.data(),
+                     out.data() + begin * out_channels_, count, plen,
+                     out_channels_);
+    } else {
+      RunFastGemm(has_plan_ ? &plan_ : nullptr, patches.data() + begin * plen,
+                  filters_.data(), nullptr, out.data() + begin * out_channels_,
+                  count, plen, out_channels_);
+    }
   });
   return out;
 }

@@ -11,6 +11,7 @@
 
 #include <span>
 
+#include "nn/kernel_registry.h"
 #include "nn/layer.h"
 
 namespace milr::nn {
@@ -52,6 +53,17 @@ class Conv2DLayer final : public Layer {
                   std::span<float> dparams) const override;
   std::span<float> Params() override { return filters_.flat(); }
   std::span<const float> Params() const override { return filters_.flat(); }
+
+  /// Non-exact tiers attach the registry's plan for the im2col GEMM shape
+  /// (F²Z, Y); the batched row-block GEMMs then dispatch through it.
+  void set_kernel_config(KernelConfig config) override;
+
+  /// Tier name plus the registry plan when one is attached.
+  std::string KernelDescription() const override;
+
+  /// Registry plan attached by set_kernel_config (tests/telemetry).
+  bool has_plan() const { return has_plan_; }
+  const GemmPlan& plan() const { return plan_; }
 
   std::size_t filter_size() const { return filter_size_; }    // F
   std::size_t in_channels() const { return in_channels_; }    // Z
@@ -105,6 +117,9 @@ class Conv2DLayer final : public Layer {
   std::size_t out_channels_;
   Padding padding_;
   Tensor filters_;  // (F,F,Z,Y)
+
+  GemmPlan plan_;          // registry decision for (F²Z, Y); valid iff
+  bool has_plan_ = false;  // has_plan_
 };
 
 }  // namespace milr::nn

@@ -1,5 +1,6 @@
 #include "nn/dense.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/gemm.h"
@@ -39,6 +40,19 @@ Tensor DenseLayer::Forward(const Tensor& input) const {
 
 void DenseLayer::set_kernel_config(KernelConfig config) {
   Layer::set_kernel_config(config);
+  if (config != KernelConfig::kExact) {
+    // Fetch (tuning on first request) the registry's plan for this weight
+    // shape. Re-fetching on every set_kernel_config keeps the layer in
+    // sync after a registry Reset() or pin change; when the new plan
+    // blocks B differently, the cached panels are stale and must repack.
+    const GemmPlan plan =
+        KernelRegistry::Get().PlanFor(in_features_, out_features_);
+    if (!has_plan_ || plan_.kc != plan.kc) {
+      packed_valid_.store(false, std::memory_order_release);
+    }
+    plan_ = plan;
+    has_plan_ = true;
+  }
   // Warm the tier's weight cache on entry instead of on the first serve,
   // so the cost lands at configuration time (engine construction) and
   // never inside a latency-sensitive request.
@@ -53,12 +67,16 @@ void DenseLayer::set_kernel_config(KernelConfig config) {
 
 const float* DenseLayer::PackedWeightsOrNull() const {
   if (!PackedBSupported()) return nullptr;
+  // Pack with the plan's kc so the panels match what RunFastGemm sweeps;
+  // set_kernel_config invalidates this cache whenever the plan's kc moves.
+  const std::size_t kc = has_plan_ ? plan_.kc : gemm_detail::kKc;
   if (!packed_valid_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(pack_mutex_);
     if (!packed_valid_.load(std::memory_order_relaxed)) {
-      packed_b_.resize(PackedBSize(in_features_, out_features_));
+      packed_b_.resize(PackedBSize(in_features_, out_features_, kc));
       PackBPanels(weights_.data(), in_features_, out_features_,
-                  packed_b_.data());
+                  packed_b_.data(), kc);
+      packed_kc_ = kc;
       packed_valid_.store(true, std::memory_order_release);
     }
   }
@@ -93,15 +111,48 @@ void DenseLayer::ForwardInt8Block(const quant::Int8ServingWeights& qw,
   thread_local std::vector<float> row_scales;
   if (aq.size() < rows * astride) aq.resize(rows * astride);
   if (row_scales.size() < rows) row_scales.resize(rows);
+  const bool cache_scales = act_scale_cache_;
+  float cached_scale = 0.0f;
+  if (cache_scales) {
+    const float maxabs = act_maxabs_.load(std::memory_order_acquire);
+    const float divided =
+        maxabs / static_cast<float>(quant::kActivationQuantMax);
+    if (divided > 0.0f) cached_scale = divided;
+  }
+  float block_maxabs = 0.0f;
   for (std::size_t r = 0; r < rows; ++r) {
     std::int16_t* arow = aq.data() + r * astride;
-    row_scales[r] = quant::QuantizeActivationRow(in + r * in_features_,
-                                                 in_features_, arow);
+    const float* in_row = in + r * in_features_;
+    if (cache_scales) {
+      float row_maxabs = 0.0f;
+      if (quant::QuantizeActivationRowWithScale(in_row, in_features_,
+                                                cached_scale, arow,
+                                                &row_maxabs)) {
+        row_scales[r] = cached_scale;
+      } else {
+        // Cold cache or saturation guard tripped: this row's range exceeds
+        // the cached one, so quantize with its own scale and let the
+        // running maximum widen below.
+        row_scales[r] =
+            quant::QuantizeActivationRow(in_row, in_features_, arow);
+      }
+      block_maxabs = std::max(block_maxabs, row_maxabs);
+    } else {
+      row_scales[r] = quant::QuantizeActivationRow(in_row, in_features_, arow);
+    }
     for (std::size_t p = in_features_; p < astride; ++p) arow[p] = 0;
   }
-  quant::GemmInt8Dequant(aq.data(), astride, row_scales.data(),
-                         qw.panels.data(), qw.scales.data(), out, rows,
-                         in_features_, out_features_);
+  if (cache_scales && block_maxabs > 0.0f) {
+    // CAS-max: concurrent row blocks only ever widen the running range.
+    float seen = act_maxabs_.load(std::memory_order_relaxed);
+    while (block_maxabs > seen &&
+           !act_maxabs_.compare_exchange_weak(seen, block_maxabs,
+                                              std::memory_order_acq_rel)) {
+    }
+  }
+  RunInt8Gemm(has_plan_ ? &plan_ : nullptr, aq.data(), astride,
+              row_scales.data(), qw.panels.data(), qw.scales.data(), out,
+              rows, in_features_, out_features_);
 }
 
 Tensor DenseLayer::ForwardWith(const Tensor& input,
@@ -140,14 +191,14 @@ Tensor DenseLayer::ForwardWith(const Tensor& input,
   // — the per-call (and previously per-16-row-block) B repack is gone.
   const float* bpack =
       kernel == KernelConfig::kFast ? PackedWeightsOrNull() : nullptr;
+  const GemmPlan* plan = has_plan_ ? &plan_ : nullptr;
   if (rows < 32) {
-    if (bpack != nullptr) {
-      GemmAccumulateFastPrepacked(input.data(), weights_.data(), bpack,
-                                  out.data(), rows, in_features_,
-                                  out_features_);
-    } else {
+    if (kernel == KernelConfig::kExact) {
       GemmAccumulate(kernel, input.data(), weights_.data(), out.data(), rows,
                      in_features_, out_features_);
+    } else {
+      RunFastGemm(plan, input.data(), weights_.data(), bpack, out.data(),
+                  rows, in_features_, out_features_);
     }
   } else {
     // Large batches appear on MILR's initialization path (golden outputs of
@@ -158,15 +209,15 @@ Tensor DenseLayer::ForwardWith(const Tensor& input,
     ParallelFor(0, blocks, [&](std::size_t b) {
       const std::size_t begin = b * kBlock;
       const std::size_t count = std::min(kBlock, rows - begin);
-      if (bpack != nullptr) {
-        GemmAccumulateFastPrepacked(input.data() + begin * in_features_,
-                                    weights_.data(), bpack,
-                                    out.data() + begin * out_features_, count,
-                                    in_features_, out_features_);
-      } else {
+      if (kernel == KernelConfig::kExact) {
         GemmAccumulate(kernel, input.data() + begin * in_features_,
                        weights_.data(), out.data() + begin * out_features_,
                        count, in_features_, out_features_);
+      } else {
+        RunFastGemm(plan, input.data() + begin * in_features_,
+                    weights_.data(), bpack,
+                    out.data() + begin * out_features_, count, in_features_,
+                    out_features_);
       }
     });
   }
@@ -188,6 +239,46 @@ Tensor DenseLayer::Backward(const Tensor& x, const Tensor& /*y*/,
   GemmTransposedBAccumulate(dy.data(), weights_.data(), dx.data(), rows,
                             out_features_, in_features_);
   return dx;
+}
+
+Tensor DenseLayer::BackwardBatch(const Tensor& xb, const Tensor& /*yb*/,
+                                 const Tensor& dyb,
+                                 std::span<float> dparams) const {
+  CheckInput(xb.shape());
+  if (xb.shape().rank() != 2) {
+    throw std::invalid_argument("DenseLayer::BackwardBatch: need batch axis");
+  }
+  if (dparams.size() != weights_.size()) {
+    throw std::invalid_argument("DenseLayer::BackwardBatch: dparams size");
+  }
+  const std::size_t rows = xb.shape()[0];
+  Tensor dxb(xb.shape());
+  if (kernel_config() == KernelConfig::kExact) {
+    // Same kernels as Backward; both accumulate each output element over
+    // the batch axis in ascending order, so one batched call is
+    // bit-identical to the per-sample loop.
+    GemmTransposedAAccumulate(xb.data(), dyb.data(), dparams.data(),
+                              in_features_, rows, out_features_);
+    GemmTransposedBAccumulate(dyb.data(), weights_.data(), dxb.data(), rows,
+                              out_features_, in_features_);
+  } else {
+    const GemmPlan* plan = has_plan_ ? &plan_ : nullptr;
+    RunTransposedAGemm(plan, xb.data(), dyb.data(), dparams.data(),
+                       in_features_, rows, out_features_);
+    RunTransposedBGemm(plan, dyb.data(), weights_.data(), dxb.data(), rows,
+                       out_features_, in_features_);
+  }
+  return dxb;
+}
+
+std::string DenseLayer::KernelDescription() const {
+  std::string desc = KernelConfigName(kernel_config());
+  if (has_plan_ && kernel_config() != KernelConfig::kExact) {
+    desc += "[";
+    desc += DescribeGemmPlan(plan_);
+    desc += "]";
+  }
+  return desc;
 }
 
 }  // namespace milr::nn

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "nn/kernel_registry.h"
 #include "nn/layer.h"
 #include "quant/gemm_int8.h"
 
@@ -35,6 +36,15 @@ class DenseLayer final : public Layer {
   }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
+  /// Batched backward: the dy rows are already stacked, so dW and dX each
+  /// run as ONE transposed GEMM over the whole shard instead of one per
+  /// sample. At the exact tier both GEMMs accumulate per output element
+  /// over the batch axis in ascending order — the same order the
+  /// per-sample loop produced — so exact-tier gradients are bit-identical
+  /// to looping Backward. Non-exact tiers route through the registry's
+  /// transposed fast kernels (tolerance-equivalent).
+  Tensor BackwardBatch(const Tensor& xb, const Tensor& yb, const Tensor& dyb,
+                       std::span<float> dparams) const override;
   /// The mutable span is the fault domain: every writer (fault injectors,
   /// MILR recovery, training, deserialization, Model::RestoreParams) goes
   /// through it, so handing it out conservatively invalidates BOTH derived
@@ -52,7 +62,34 @@ class DenseLayer final : public Layer {
   /// Packs the weight panels once when entering the fast tier (ROADMAP
   /// follow-on from PR 3) and quantizes them once when entering the int8
   /// tier, so serving never pays a per-request repack/requantization.
+  /// Non-exact tiers additionally fetch this shape's GemmPlan from the
+  /// KernelRegistry (tuning it on the first request) and persist it by
+  /// value; a plan whose kc differs from the cached panels' forces a
+  /// repack so pack and serve always agree on the blocking.
   void set_kernel_config(KernelConfig config) override;
+
+  /// Tier name plus the registry plan when one is attached.
+  std::string KernelDescription() const override;
+
+  /// Opt-in (default off): reuse a running per-layer activation scale on
+  /// the int8 path instead of re-deriving one per row, falling back —
+  /// and widening the cache — whenever a row's max-abs would saturate the
+  /// cached range. Changes served bits relative to per-row scales, so the
+  /// int8 tier's bit-stability contract only covers the default-off mode.
+  /// The cache invalidates with the weight caches on Params()/weights().
+  void set_activation_scale_caching(bool enabled) {
+    act_scale_cache_ = enabled;
+    act_maxabs_.store(0.0f, std::memory_order_release);
+  }
+  bool activation_scale_caching() const { return act_scale_cache_; }
+  /// Current running activation max-abs (0 until a row was observed).
+  float cached_activation_maxabs() const {
+    return act_maxabs_.load(std::memory_order_acquire);
+  }
+
+  /// Registry plan attached by set_kernel_config (tests/telemetry).
+  bool has_plan() const { return has_plan_; }
+  const GemmPlan& plan() const { return plan_; }
 
   std::size_t in_features() const { return in_features_; }    // N
   std::size_t out_features() const { return out_features_; }  // P
@@ -98,14 +135,23 @@ class DenseLayer final : public Layer {
   void InvalidatePackedWeights() {
     packed_valid_.store(false, std::memory_order_release);
     int8_valid_.store(false, std::memory_order_release);
+    // Mutated weights mean a new activation distribution downstream; the
+    // running scale restarts from the first post-mutation row.
+    act_maxabs_.store(0.0f, std::memory_order_release);
   }
 
   std::size_t in_features_;
   std::size_t out_features_;
   Tensor weights_;  // (N,P)
 
+  GemmPlan plan_;          // registry decision for (N,P); valid iff
+  bool has_plan_ = false;  // has_plan_ (set_kernel_config attaches it)
+  bool act_scale_cache_ = false;
+  mutable std::atomic<float> act_maxabs_{0.0f};  // running finite max-abs
+
   mutable std::mutex pack_mutex_;
   mutable std::vector<float> packed_b_;  // PackBPanels layout
+  mutable std::size_t packed_kc_ = 0;    // kc packed_b_ was packed with
   mutable std::atomic<bool> packed_valid_{false};
   mutable quant::Int8ServingWeights int8_weights_;  // derived int8 replica
   mutable std::atomic<bool> int8_valid_{false};

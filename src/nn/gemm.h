@@ -555,20 +555,184 @@ __attribute__((target("avx2,fma"))) inline void RowKernelAvx2(
     }
   }
 }
+
+#define MILR_GEMM_HAVE_AVX512 1
+typedef float Vec16 __attribute__((vector_size(64)));
+
+__attribute__((target("avx512f"))) inline Vec16 Load16(const float* p) {
+  Vec16 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+__attribute__((target("avx512f"))) inline void Store16(float* p, Vec16 v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+__attribute__((target("avx512f"))) inline Vec16 Bcast16(float v) {
+  Vec16 r;
+  for (int i = 0; i < 16; ++i) r[i] = v;
+  return r;
+}
+
+/// One-time CPUID probe for the zmm fp32 kernels below. Like the AVX2
+/// probe, the baseline binary stays portable: the avx512f clones are only
+/// ever entered behind this check (and, in production, only after the
+/// kernel registry has oracle-validated them on this machine).
+inline bool HasAvx512f() {
+  static const bool ok = __builtin_cpu_supports("avx512f");
+  return ok;
+}
+
+/// AVX-512 flavor of the packed micro-kernel: kNr (=16) is exactly one zmm
+/// lane set, so the packed-panel layout is shared verbatim with the AVX2
+/// and generic micro-kernels — the registry can swap micro-kernels without
+/// repacking. One accumulator per tile row leaves registers to unroll the
+/// k sweep by two with a second accumulator set (summation order differs
+/// from the other micro-kernels; fast tier is tolerance-level anyway).
+__attribute__((target("avx512f"))) inline void MicroKernelAvx512(
+    const float* __restrict apack, const float* __restrict bpack,
+    std::size_t kc, float* __restrict cacc) {
+  Vec16 acc[kMr], acc2[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    acc[r] = Load16(cacc + r * kNr);
+    acc2[r] = Bcast16(0.0f);
+  }
+  std::size_t p = 0;
+  for (; p + 2 <= kc; p += 2) {
+    const Vec16 b0 = Load16(bpack + p * kNr);
+    const Vec16 b1 = Load16(bpack + (p + 1) * kNr);
+    const float* acol0 = apack + p * kMr;
+    const float* acol1 = acol0 + kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      acc[r] += Bcast16(acol0[r]) * b0;
+      acc2[r] += Bcast16(acol1[r]) * b1;
+    }
+  }
+  if (p < kc) {
+    const Vec16 b0 = Load16(bpack + p * kNr);
+    const float* acol = apack + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) acc[r] += Bcast16(acol[r]) * b0;
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    Store16(cacc + r * kNr, acc[r] + acc2[r]);
+  }
+}
+
+/// AVX-512 direct-B kernel: DirectTileKernelAvx2's role with zmm vectors.
+/// The register budget (32 zmm) affords an 8-row × 16-column tile, so each
+/// B row load is reused across eight A rows instead of four. Leftover rows
+/// use a k-unrolled single-row kernel, leftover columns a scalar dot.
+__attribute__((target("avx512f"))) inline void DirectTileKernelAvx512(
+    const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+    std::size_t n) {
+  constexpr std::size_t kRows = 8;
+  std::size_t jc = 0;
+  for (; jc + kNr <= n; jc += kNr) {
+    std::size_t i = 0;
+    for (; i + kRows <= m; i += kRows) {
+      Vec16 acc[kRows];
+      for (std::size_t r = 0; r < kRows; ++r) {
+        acc[r] = Load16(c + (i + r) * n + jc);
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        const Vec16 brow = Load16(b + p * n + jc);
+        for (std::size_t r = 0; r < kRows; ++r) {
+          acc[r] += Bcast16(a[(i + r) * k + p]) * brow;
+        }
+      }
+      for (std::size_t r = 0; r < kRows; ++r) {
+        Store16(c + (i + r) * n + jc, acc[r]);
+      }
+    }
+    for (; i < m; ++i) {  // leftover rows: unroll k by two for ILP
+      Vec16 acc0 = Load16(c + i * n + jc);
+      Vec16 acc1 = Bcast16(0.0f);
+      const float* arow = a + i * k;
+      std::size_t p = 0;
+      for (; p + 2 <= k; p += 2) {
+        acc0 += Bcast16(arow[p]) * Load16(b + p * n + jc);
+        acc1 += Bcast16(arow[p + 1]) * Load16(b + (p + 1) * n + jc);
+      }
+      if (p < k) acc0 += Bcast16(arow[p]) * Load16(b + p * n + jc);
+      Store16(c + i * n + jc, acc0 + acc1);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {  // leftover columns: scalar dots
+    const float* arow = a + i * k;
+    for (std::size_t j = jc; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+/// AVX2 dot-form kernel for C(m,n) += A(m,k)·Bᵀ where B is stored (n,k):
+/// the fast-tier counterpart of GemmTransposedBAccumulate (training dX).
+/// Both operands stream along k, so 8-wide FMA accumulators with one
+/// horizontal reduction per output beat any repacking scheme. Tolerance
+/// contract, not bit-exact (vector lanes reorder the summation).
+__attribute__((target("avx2,fma"))) inline void TransposedBKernelAvx2(
+    const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+    std::size_t n) {
+  constexpr std::size_t kJTile = 4;
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + kJTile <= n; j += kJTile) {
+      Vec8 acc[kJTile] = {};
+      const float* brows[kJTile];
+      for (std::size_t s = 0; s < kJTile; ++s) brows[s] = b + (j + s) * k;
+      std::size_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const Vec8 av = Load8(arow + p);
+        for (std::size_t s = 0; s < kJTile; ++s) {
+          acc[s] += av * Load8(brows[s] + p);
+        }
+      }
+      float tail[kJTile] = {};
+      for (; p < k; ++p) {
+        const float av = arow[p];
+        for (std::size_t s = 0; s < kJTile; ++s) tail[s] += av * brows[s][p];
+      }
+      for (std::size_t s = 0; s < kJTile; ++s) {
+        float lanes[8];
+        Store8(lanes, acc[s]);
+        float sum = tail[s];
+        for (int l = 0; l < 8; ++l) sum += lanes[l];
+        crow[j + s] += sum;
+      }
+    }
+    for (; j < n; ++j) {  // leftover columns, same shape with one acc
+      const float* brow = b + j * k;
+      Vec8 acc = {};
+      std::size_t p = 0;
+      for (; p + 8 <= k; p += 8) acc += Load8(arow + p) * Load8(brow + p);
+      float sum = 0.0f;
+      for (; p < k; ++p) sum += arow[p] * brow[p];
+      float lanes[8];
+      Store8(lanes, acc);
+      for (int l = 0; l < 8; ++l) sum += lanes[l];
+      crow[j] += sum;
+    }
+  }
+}
 #endif  // __x86_64__
 
 #ifdef MILR_GEMM_HAVE_VEC
 /// Shared inner sweep of the packed drivers (PackedGemm and PackedBGemm):
 /// for one k block (depth kc, source column pc) whose B panels are already
-/// packed at `bpanels` (n_panels consecutive (kKc,kNr) panels), packs each
-/// kMr-row A micro-panel into `apack` (kMr * kKc floats of scratch) and
-/// invokes `micro` once per (kMr,kNr) C tile, staging C through a
+/// packed at `bpanels` (n_panels consecutive (kc_stride,kNr) panels, where
+/// kc_stride is the block depth the panels were packed with), packs each
+/// kMr-row A micro-panel into `apack` (kMr * kc_stride floats of scratch)
+/// and invokes `micro` once per (kMr,kNr) C tile, staging C through a
 /// zero-padded accumulator so the micro-kernel never branches on edges.
 /// Rows/columns past m/n are computed on padding but never stored back.
 template <typename MicroFn>
 inline void PackedSweepKBlock(const float* a, const float* bpanels, float* c,
                               std::size_t m, std::size_t k, std::size_t n,
-                              std::size_t pc, std::size_t kc, float* apack,
+                              std::size_t pc, std::size_t kc,
+                              std::size_t kc_stride, float* apack,
                               MicroFn micro) {
   const std::size_t n_panels = (n + kNr - 1) / kNr;
   for (std::size_t i = 0; i < m; i += kMr) {
@@ -596,7 +760,7 @@ inline void PackedSweepKBlock(const float* a, const float* bpanels, float* c,
       for (std::size_t r = mb; r < kMr; ++r) {
         for (std::size_t j = 0; j < kNr; ++j) cacc[r * kNr + j] = 0.0f;
       }
-      micro(apack, bpanels + q * kKc * kNr, kc, cacc);
+      micro(apack, bpanels + q * kc_stride * kNr, kc, cacc);
       for (std::size_t r = 0; r < mb; ++r) {
         float* crow = c + (i + r) * n + jc;
         for (std::size_t j = 0; j < nb; ++j) crow[j] = cacc[r * kNr + j];
@@ -605,28 +769,29 @@ inline void PackedSweepKBlock(const float* a, const float* bpanels, float* c,
   }
 }
 
-/// Packed-panel k-blocked driver shared by the generic and AVX2 builds.
-/// MicroFn is invoked once per (kMr,kNr) C tile per k block, against the
-/// thread-local packed panels.
+/// Packed-panel k-blocked driver shared by the generic and AVX2/AVX-512
+/// builds. MicroFn is invoked once per (kMr,kNr) C tile per k block,
+/// against the thread-local packed panels. `kc_blk` is the k-block depth
+/// (the registry tunes it; kKc is the fixed-constant default).
 template <typename MicroFn>
 inline void PackedGemm(const float* a, const float* b, float* c,
                        std::size_t m, std::size_t k, std::size_t n,
-                       MicroFn micro) {
+                       std::size_t kc_blk, MicroFn micro) {
   thread_local std::vector<float> a_scratch;
   thread_local std::vector<float> b_scratch;
   const std::size_t n_panels = (n + kNr - 1) / kNr;
-  float* bpack = PackScratch(b_scratch, n_panels * kKc * kNr);
-  float* apack = PackScratch(a_scratch, kMr * kKc);
+  float* bpack = PackScratch(b_scratch, n_panels * kc_blk * kNr);
+  float* apack = PackScratch(a_scratch, kMr * kc_blk);
 
-  for (std::size_t pc = 0; pc < k; pc += kKc) {
-    const std::size_t kc = std::min(kKc, k - pc);
+  for (std::size_t pc = 0; pc < k; pc += kc_blk) {
+    const std::size_t kc = std::min(kc_blk, k - pc);
 
     // Pack B(kc, n) into contiguous (kc, kNr) panels; short panels are
     // zero-padded so the micro-kernel never branches on column bounds.
     for (std::size_t q = 0; q < n_panels; ++q) {
       const std::size_t jc = q * kNr;
       const std::size_t nb = std::min(kNr, n - jc);
-      float* panel = bpack + q * kKc * kNr;
+      float* panel = bpack + q * kc_blk * kNr;
       for (std::size_t p = 0; p < kc; ++p) {
         const float* brow = b + (pc + p) * n + jc;
         float* dst = panel + p * kNr;
@@ -635,8 +800,14 @@ inline void PackedGemm(const float* a, const float* b, float* c,
       }
     }
 
-    PackedSweepKBlock(a, bpack, c, m, k, n, pc, kc, apack, micro);
+    PackedSweepKBlock(a, bpack, c, m, k, n, pc, kc, kc_blk, apack, micro);
   }
+}
+template <typename MicroFn>
+inline void PackedGemm(const float* a, const float* b, float* c,
+                       std::size_t m, std::size_t k, std::size_t n,
+                       MicroFn micro) {
+  PackedGemm(a, b, c, m, k, n, kKc, micro);
 }
 #endif  // MILR_GEMM_HAVE_VEC
 }  // namespace gemm_detail
@@ -669,36 +840,38 @@ inline constexpr bool PackedBSupported() {
 #endif
 }
 
-/// Scratch floats PackBPanels needs for a row-major (k, n) B.
-inline std::size_t PackedBSize(std::size_t k, std::size_t n) {
-  using gemm_detail::kKc;
+/// Scratch floats PackBPanels needs for a row-major (k, n) B packed with
+/// k-block depth `kc_blk` (defaults to the fixed constant kKc).
+inline std::size_t PackedBSize(std::size_t k, std::size_t n,
+                               std::size_t kc_blk = gemm_detail::kKc) {
   using gemm_detail::kNr;
   const std::size_t n_panels = (n + kNr - 1) / kNr;
-  const std::size_t k_blocks = (k + kKc - 1) / kKc;
-  return k_blocks * n_panels * kKc * kNr;
+  const std::size_t k_blocks = (k + kc_blk - 1) / kc_blk;
+  return k_blocks * n_panels * kc_blk * kNr;
 }
 
 /// Packs row-major B(k,n) into the panel layout documented above. `out`
-/// must hold PackedBSize(k, n) floats.
+/// must hold PackedBSize(k, n, kc_blk) floats; the consumer must sweep the
+/// panels with the same kc_blk.
 inline void PackBPanels(const float* b, std::size_t k, std::size_t n,
-                        float* out) {
-  using gemm_detail::kKc;
+                        float* out,
+                        std::size_t kc_blk = gemm_detail::kKc) {
   using gemm_detail::kNr;
   const std::size_t n_panels = (n + kNr - 1) / kNr;
   std::size_t t = 0;
-  for (std::size_t pc = 0; pc < k; pc += kKc, ++t) {
-    const std::size_t kc = std::min(kKc, k - pc);
+  for (std::size_t pc = 0; pc < k; pc += kc_blk, ++t) {
+    const std::size_t kc = std::min(kc_blk, k - pc);
     for (std::size_t q = 0; q < n_panels; ++q) {
       const std::size_t jc = q * kNr;
       const std::size_t nb = std::min(kNr, n - jc);
-      float* panel = out + (t * n_panels + q) * kKc * kNr;
+      float* panel = out + (t * n_panels + q) * kc_blk * kNr;
       for (std::size_t p = 0; p < kc; ++p) {
         const float* brow = b + (pc + p) * n + jc;
         float* dst = panel + p * kNr;
         for (std::size_t j = 0; j < nb; ++j) dst[j] = brow[j];
         for (std::size_t j = nb; j < kNr; ++j) dst[j] = 0.0f;
       }
-      for (std::size_t p = kc; p < kKc; ++p) {
+      for (std::size_t p = kc; p < kc_blk; ++p) {
         float* dst = panel + p * kNr;
         for (std::size_t j = 0; j < kNr; ++j) dst[j] = 0.0f;
       }
@@ -709,33 +882,42 @@ inline void PackBPanels(const float* b, std::size_t k, std::size_t n,
 #ifdef MILR_GEMM_HAVE_VEC
 namespace gemm_detail {
 /// PackedGemm minus the B pack: sweeps pre-packed panels (PackBPanels
-/// layout), packing only the (cheap, activation-sized) A micro-panels per
-/// call via the shared PackedSweepKBlock.
+/// layout with k-block depth kc_blk), packing only the (cheap,
+/// activation-sized) A micro-panels per call via PackedSweepKBlock.
+template <typename MicroFn>
+inline void PackedBGemm(const float* a, const float* bpack, float* c,
+                        std::size_t m, std::size_t k, std::size_t n,
+                        std::size_t kc_blk, MicroFn micro) {
+  thread_local std::vector<float> a_scratch;
+  float* apack = PackScratch(a_scratch, kMr * kc_blk);
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  std::size_t t = 0;
+  for (std::size_t pc = 0; pc < k; pc += kc_blk, ++t) {
+    const std::size_t kc = std::min(kc_blk, k - pc);
+    PackedSweepKBlock(a, bpack + t * n_panels * kc_blk * kNr, c, m, k, n,
+                      pc, kc, kc_blk, apack, micro);
+  }
+}
 template <typename MicroFn>
 inline void PackedBGemm(const float* a, const float* bpack, float* c,
                         std::size_t m, std::size_t k, std::size_t n,
                         MicroFn micro) {
-  thread_local std::vector<float> a_scratch;
-  float* apack = PackScratch(a_scratch, kMr * kKc);
-  const std::size_t n_panels = (n + kNr - 1) / kNr;
-  std::size_t t = 0;
-  for (std::size_t pc = 0; pc < k; pc += kKc, ++t) {
-    const std::size_t kc = std::min(kKc, k - pc);
-    PackedSweepKBlock(a, bpack + t * n_panels * kKc * kNr, c, m, k, n, pc,
-                      kc, apack, micro);
-  }
+  PackedBGemm(a, bpack, c, m, k, n, kKc, micro);
 }
 }  // namespace gemm_detail
 #endif  // MILR_GEMM_HAVE_VEC
 
-/// Fast-tier C(m,n) += A(m,k)·B(k,n) where `bpack` holds PackBPanels(b).
-/// `b` (the raw matrix) is still required: operands too thin for a packed
-/// register tile route to the row-structured kernel, which reads B in its
-/// natural layout. Same tolerance contract as GemmAccumulateFast.
+/// Fast-tier C(m,n) += A(m,k)·B(k,n) where `bpack` holds PackBPanels(b)
+/// packed with k-block depth `kc_blk`. `b` (the raw matrix) is still
+/// required: operands too thin for a packed register tile route to the
+/// row-structured kernel, which reads B in its natural layout. Same
+/// tolerance contract as GemmAccumulateFast.
 inline void GemmAccumulateFastPrepacked(const float* a, const float* b,
                                         const float* bpack, float* c,
                                         std::size_t m, std::size_t k,
-                                        std::size_t n) {
+                                        std::size_t n,
+                                        std::size_t kc_blk
+                                        = gemm_detail::kKc) {
   if (m == 0 || n == 0 || k == 0) return;
 #ifdef MILR_GEMM_HAVE_AVX2
   if (gemm_detail::HasAvx2Fma()) {
@@ -744,7 +926,7 @@ inline void GemmAccumulateFastPrepacked(const float* a, const float* b,
       // the row kernel does exactly m rows of work from the raw B.
       gemm_detail::RowKernelAvx2(a, b, c, m, k, n);
     } else {
-      gemm_detail::PackedBGemm(a, bpack, c, m, k, n,
+      gemm_detail::PackedBGemm(a, bpack, c, m, k, n, kc_blk,
                                [](const float* ap, const float* bp,
                                   std::size_t kc, float* cacc) {
                                  gemm_detail::MicroKernelAvx2(ap, bp, kc,
@@ -758,7 +940,7 @@ inline void GemmAccumulateFastPrepacked(const float* a, const float* b,
   if (m >= gemm_detail::kMr) {
     // With the B repack already paid, the packed path's break-even drops
     // from kPackedMinRows to one register tile of rows.
-    gemm_detail::PackedBGemm(a, bpack, c, m, k, n,
+    gemm_detail::PackedBGemm(a, bpack, c, m, k, n, kc_blk,
                              [](const float* ap, const float* bp,
                                 std::size_t kc, float* cacc) {
                                gemm_detail::MicroKernelGeneric(ap, bp, kc,
@@ -768,6 +950,7 @@ inline void GemmAccumulateFastPrepacked(const float* a, const float* b,
   }
 #endif
   (void)bpack;
+  (void)kc_blk;
   GemmAccumulate(a, b, c, m, k, n);
 }
 
@@ -827,6 +1010,45 @@ inline void GemmAccumulate(KernelConfig config, const float* a,
   } else {
     GemmAccumulate(a, b, c, m, k, n);
   }
+}
+
+// ------------------------------------------------- fast transposed tier
+//
+// Training's dW/dX products historically ran only the exact tiled kernels.
+// These are their fast-tier counterparts (tolerance contract, like
+// GemmAccumulateFast); the kernel registry decides per shape whether they
+// beat the exact kernels. Per-sample MILR paths never call them.
+
+/// Fast C(m,n) += Aᵀ(m,k)·B(k,n), A stored (k,m) row-major (training dW).
+/// Transposes A into thread-local scratch — an O(k·m) copy against the
+/// O(m·k·n) multiply — then reuses the whole forward fast-tier dispatch,
+/// including its AVX-512 kernels where present.
+inline void GemmTransposedAAccumulateFast(const float* a, const float* b,
+                                          float* c, std::size_t m,
+                                          std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+  thread_local std::vector<float> at_scratch;
+  float* at = gemm_detail::PackScratch(at_scratch, m * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    for (std::size_t i = 0; i < m; ++i) at[i * k + p] = arow[i];
+  }
+  GemmAccumulateFast(at, b, c, m, k, n);
+}
+
+/// Fast C(m,n) += A(m,k)·Bᵀ, B stored (n,k) row-major (training dX).
+/// AVX2 dot-form kernel when available, exact tiled kernel otherwise.
+inline void GemmTransposedBAccumulateFast(const float* a, const float* b,
+                                          float* c, std::size_t m,
+                                          std::size_t k, std::size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+#ifdef MILR_GEMM_HAVE_AVX2
+  if (gemm_detail::HasAvx2Fma()) {
+    gemm_detail::TransposedBKernelAvx2(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  GemmTransposedBAccumulate(a, b, c, m, k, n);
 }
 
 }  // namespace milr::nn

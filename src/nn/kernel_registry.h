@@ -1,0 +1,158 @@
+// Autotuned kernel registry for the serving/training GEMMs.
+//
+// nn/gemm.h and quant/gemm_int8.h carry several micro-kernels per tier
+// (generic vectors, AVX2+FMA, AVX-512 zmm fp32, VNNI int8) and a set of
+// blocking parameters that used to be fixed constants (kKc et al.). The
+// registry turns both into a measured decision per GEMM shape:
+//
+//  * Candidates = viable (micro-kernel, blocking) combinations for this
+//    build + machine. Viability is decided once per process: a kernel must
+//    pass CPUID dispatch (compile-guarded code never runs on hardware
+//    without the ISA) AND validate against the generic oracles — fp32
+//    kernels to tolerance vs a double-precision reference, int8 kernels
+//    bit-exactly vs GemmInt8DequantGeneric. A kernel that fails validation
+//    on some machine simply never becomes a candidate.
+//  * At Model::set_kernel_config time each layer asks for the plan of its
+//    actual (k, n) weight shape. On a cache miss the registry
+//    micro-benchmarks the candidates at serving-representative row counts
+//    within a bounded time budget and caches the winner; layers persist
+//    the plan by value, so MILR recovery / fault injection / requantize
+//    reuse the decision without re-tuning, and co-hosted models sharing a
+//    shape tune once.
+//  * Escape hatches: MILR_AUTOTUNE_MS (or set_autotune_budget_ms) bounds
+//    or disables measurement — budget <= 0 yields the deterministic
+//    heuristic plan, which reproduces the legacy fixed-constant dispatch.
+//    MILR_KERNEL_PIN (or set_pin) pins a kernel family: "fixed" is the
+//    pre-registry dispatch (the bench baseline), "generic" / "avx2" /
+//    "avx512" force a family where supported.
+//
+// Numerics are never at stake: the exact tier bypasses the registry
+// entirely, all int8 candidates are bit-identical to each other, and fast
+// fp32 candidates share the tier's tolerance contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nn/gemm.h"
+#include "quant/gemm_int8.h"
+
+namespace milr::nn {
+
+/// Fast-tier fp32 micro-kernel candidates. "Packed" kernels sweep (kc,16)
+/// B panels (pre-packed or packed on the fly); "direct" kernels stream B
+/// in its natural layout; "row" keeps the exact tier's loop structure.
+enum class FastKernel {
+  kExactTiled,     // nn/gemm.h exact tiled kernel (always viable)
+  kGenericPacked,  // MicroKernelGeneric over packed panels
+  kAvx2Row,        // RowKernelAvx2
+  kAvx2Direct,     // DirectTileKernelAvx2
+  kAvx2Packed,     // MicroKernelAvx2 over packed panels
+  kAvx512Direct,   // DirectTileKernelAvx512
+  kAvx512Packed,   // MicroKernelAvx512 over packed panels
+};
+
+const char* FastKernelName(FastKernel kernel);
+
+/// Transposed-GEMM choice for the training dW/dX products.
+enum class TransKernel {
+  kTiled,  // exact tiled kernels (legacy behavior)
+  kFast,   // GemmTransposed{A,B}AccumulateFast
+};
+
+/// One shape's tuned decisions. Immutable once returned; layers keep a
+/// copy so the choice survives weight mutations (recovery, injection,
+/// requantization) without consulting the registry again.
+struct GemmPlan {
+  std::size_t k = 0;  // weight rows (layer input features / patch length)
+  std::size_t n = 0;  // weight cols (layer output features/channels)
+
+  // Winners per serving row-count class (RunFastGemm picks the class).
+  FastKernel thin = FastKernel::kExactTiled;    // m < 4 or n < 16
+  FastKernel direct = FastKernel::kExactTiled;  // no packed B, m <= 128
+  FastKernel packed = FastKernel::kExactTiled;  // packed B or m > 128
+  std::size_t kc = 256;  // k-block depth the packed kernels sweep
+
+  quant::Int8Kernel int8 = quant::Int8Kernel::kGeneric;
+
+  TransKernel ta = TransKernel::kTiled;  // dW: C += Aᵀ·B
+  TransKernel tb = TransKernel::kTiled;  // dX: C += A·Bᵀ
+
+  double tune_ms = 0.0;  // wall time spent measuring this plan
+  bool tuned = false;    // false: heuristic/pinned defaults, no timing
+};
+
+/// Compact one-line rendering for telemetry labels and bench JSON.
+std::string DescribeGemmPlan(const GemmPlan& plan);
+
+class KernelRegistry {
+ public:
+  static KernelRegistry& Get();
+
+  /// Plan for GEMMs against a (k, n) weight matrix. Tunes on first
+  /// request (bounded by the autotune budget), then serves the cached
+  /// winner. Thread-safe; returns the heuristic plan for degenerate
+  /// shapes.
+  GemmPlan PlanFor(std::size_t k, std::size_t n);
+
+  /// Per-plan measurement budget in milliseconds. <= 0 disables
+  /// measurement (deterministic heuristic plans). Applies to future
+  /// PlanFor misses only. `set` overrides MILR_AUTOTUNE_MS.
+  double autotune_budget_ms() const;
+  void set_autotune_budget_ms(double ms);
+
+  /// Kernel-family pin (MILR_KERNEL_PIN): kFixed reproduces the legacy
+  /// fixed-constant dispatch, the others force a family where supported.
+  enum class Pin { kNone, kFixed, kGeneric, kAvx2, kAvx512 };
+  Pin pin() const;
+  void set_pin(Pin pin);
+
+  struct Stats {
+    std::size_t plans = 0;     // cached plans
+    std::size_t tuned = 0;     // of those, measured (not heuristic)
+    double total_tune_ms = 0;  // autotune wall time spent so far
+  };
+  Stats stats() const;
+
+  /// Drops every cached plan and resets stats (tests/bench only — callers
+  /// must re-run Model::set_kernel_config afterwards). Pin and budget
+  /// overrides are kept.
+  void Reset();
+
+ private:
+  KernelRegistry();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked singleton state
+};
+
+// ---------------------------------------------------------------- execution
+//
+// Plan-driven entry points the layers call on the hot path. All accept a
+// null plan and then reproduce the legacy (pre-registry) dispatch, so a
+// layer that never saw set_kernel_config behaves exactly as before.
+
+/// Fast-tier C(m,n) += A(m,k)·B(k,n). `bpack` (nullable) holds
+/// PackBPanels(b, k, n, plan->kc) when the caller caches packed weights.
+void RunFastGemm(const GemmPlan* plan, const float* a, const float* b,
+                 const float* bpack, float* c, std::size_t m, std::size_t k,
+                 std::size_t n);
+
+/// Int8-tier GEMM + dequant (contracts as GemmInt8Dequant).
+void RunInt8Gemm(const GemmPlan* plan, const std::int16_t* aq,
+                 std::size_t astride, const float* row_scales,
+                 const std::int8_t* bpack, const float* scales, float* c,
+                 std::size_t m, std::size_t k, std::size_t n);
+
+/// Training dW: C(m,n) += Aᵀ(m,k)·B(k,n), A stored (k,m). Tiled unless the
+/// plan says the fast transposed path wins.
+void RunTransposedAGemm(const GemmPlan* plan, const float* a, const float* b,
+                        float* c, std::size_t m, std::size_t k,
+                        std::size_t n);
+
+/// Training dX: C(m,n) += A(m,k)·Bᵀ(k,n), B stored (n,k).
+void RunTransposedBGemm(const GemmPlan* plan, const float* a, const float* b,
+                        float* c, std::size_t m, std::size_t k,
+                        std::size_t n);
+
+}  // namespace milr::nn

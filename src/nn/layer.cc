@@ -38,6 +38,34 @@ Tensor Layer::ForwardBatch(const Tensor& input) const {
   return out;
 }
 
+Tensor Layer::BackwardBatch(const Tensor& xb, const Tensor& yb,
+                            const Tensor& dyb,
+                            std::span<float> dparams) const {
+  const Shape sample_x = SampleShape(xb.shape());
+  const Shape sample_y = SampleShape(dyb.shape());
+  const std::size_t batch = xb.shape()[0];
+  const std::size_t x_stride = sample_x.NumElements();
+  const std::size_t y_stride = sample_y.NumElements();
+  Tensor dxb(WithBatchAxis(batch, sample_x));
+  Tensor x(sample_x);
+  Tensor y(sample_y);
+  Tensor dy(sample_y);
+  for (std::size_t s = 0; s < batch; ++s) {
+    std::copy_n(xb.data() + s * x_stride, x_stride, x.data());
+    std::copy_n(yb.data() + s * y_stride, y_stride, y.data());
+    std::copy_n(dyb.data() + s * y_stride, y_stride, dy.data());
+    const Tensor dx = Backward(x, y, dy, dparams);
+    std::copy_n(dx.data(), x_stride, dxb.data() + s * x_stride);
+  }
+  return dxb;
+}
+
+Tensor FlattenLayer::BackwardBatch(const Tensor& xb, const Tensor& /*yb*/,
+                                   const Tensor& dyb,
+                                   std::span<float> /*dparams*/) const {
+  return dyb.Reshaped(xb.shape());
+}
+
 const char* LayerKindName(LayerKind kind) {
   switch (kind) {
     case LayerKind::kConv2D: return "conv2d";

@@ -70,6 +70,16 @@ class Layer {
   virtual Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                           std::span<float> dparams) const = 0;
 
+  /// Batched training backward pass: `xb` / `yb` / `dyb` are Backward's
+  /// arguments with a leading batch axis. The default slices per sample;
+  /// overrides fuse the batch (dense stacks the dy rows into single
+  /// transposed GEMMs that can run the registry's fast kernels). Every
+  /// override accumulates into `dparams` in the same per-element order as
+  /// the per-sample loop, so exact-tier results stay bit-identical.
+  virtual Tensor BackwardBatch(const Tensor& xb, const Tensor& yb,
+                               const Tensor& dyb,
+                               std::span<float> dparams) const;
+
   /// Mutable / const view of the parameters (empty if none). This span is
   /// the error-prone "main memory" in the paper's model.
   virtual std::span<float> Params() { return {}; }
@@ -94,6 +104,13 @@ class Layer {
     kernel_config_ = config;
   }
 
+  /// One-line description of how this layer's batched path executes, for
+  /// telemetry labels and the bench report: the tier name, plus the
+  /// registry plan for layers that hold one ("fast[thin=...,kc=...]").
+  virtual std::string KernelDescription() const {
+    return KernelConfigName(kernel_config());
+  }
+
  private:
   std::string name_;
   KernelConfig kernel_config_ = KernelConfig::kExact;
@@ -113,6 +130,11 @@ class ReLULayer final : public Layer {
   }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
+  // Elementwise: the batched tensors feed the unbatched kernel directly.
+  Tensor BackwardBatch(const Tensor& xb, const Tensor& yb, const Tensor& dyb,
+                       std::span<float> dparams) const override {
+    return Backward(xb, yb, dyb, dparams);
+  }
 };
 
 /// Flatten: reshapes (H,W,C) -> (H*W*C). Pure shape adapter.
@@ -125,6 +147,8 @@ class FlattenLayer final : public Layer {
   Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
+  Tensor BackwardBatch(const Tensor& xb, const Tensor& yb, const Tensor& dyb,
+                       std::span<float> dparams) const override;
 };
 
 /// Dropout: identity at inference time (training-only layers "can be
@@ -141,6 +165,11 @@ class DropoutLayer final : public Layer {
   Tensor Backward(const Tensor& /*x*/, const Tensor& /*y*/, const Tensor& dy,
                   std::span<float> /*dparams*/) const override {
     return dy;
+  }
+  Tensor BackwardBatch(const Tensor& /*xb*/, const Tensor& /*yb*/,
+                       const Tensor& dyb,
+                       std::span<float> /*dparams*/) const override {
+    return dyb;
   }
 
   float rate() const { return rate_; }
@@ -189,6 +218,13 @@ class BiasLayer final : public Layer {
   }
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
+  // dparams[c] sums dy over all positions with i % channels == c; flat
+  // iteration over the batched tensor visits those positions in the same
+  // order as the per-sample loop, so the sums are bit-identical.
+  Tensor BackwardBatch(const Tensor& xb, const Tensor& yb, const Tensor& dyb,
+                       std::span<float> dparams) const override {
+    return Backward(xb, yb, dyb, dparams);
+  }
   std::span<float> Params() override { return bias_.flat(); }
   std::span<const float> Params() const override { return bias_.flat(); }
 

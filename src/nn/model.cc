@@ -13,6 +13,9 @@ Model& Model::Add(std::unique_ptr<Layer> layer) {
   layer->set_name(std::string(LayerKindName(layer->kind())) + "_" +
                   std::to_string(layers_.size()));
   layer->set_kernel_config(kernel_config_);
+  if (auto* dense = dynamic_cast<DenseLayer*>(layer.get())) {
+    dense->set_activation_scale_caching(act_scale_cache_);
+  }
   layers_.push_back(std::move(layer));
   shapes_.push_back(out);
   profiler_.Reset(layers_.size());
@@ -22,6 +25,24 @@ Model& Model::Add(std::unique_ptr<Layer> layer) {
 void Model::set_kernel_config(KernelConfig config) {
   kernel_config_ = config;
   for (const auto& layer : layers_) layer->set_kernel_config(config);
+}
+
+void Model::set_activation_scale_caching(bool enabled) {
+  act_scale_cache_ = enabled;
+  for (const auto& layer : layers_) {
+    if (auto* dense = dynamic_cast<DenseLayer*>(layer.get())) {
+      dense->set_activation_scale_caching(enabled);
+    }
+  }
+}
+
+std::vector<std::string> Model::KernelDescriptions() const {
+  std::vector<std::string> out;
+  out.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    out.push_back(layer->name() + ": " + layer->KernelDescription());
+  }
+  return out;
 }
 
 Model& Model::AddConv(std::size_t filter_size, std::size_t out_channels,
@@ -143,6 +164,16 @@ std::vector<Tensor> Model::ForwardCollect(const Tensor& input) const {
   activations.push_back(input);
   for (const auto& layer : layers_) {
     activations.push_back(layer->Forward(activations.back()));
+  }
+  return activations;
+}
+
+std::vector<Tensor> Model::ForwardCollectBatch(Tensor batch) const {
+  std::vector<Tensor> activations;
+  activations.reserve(layers_.size() + 1);
+  activations.push_back(std::move(batch));
+  for (const auto& layer : layers_) {
+    activations.push_back(layer->ForwardBatch(activations.back()));
   }
   return activations;
 }

@@ -56,6 +56,17 @@ class Model {
   void set_kernel_config(KernelConfig config);
   KernelConfig kernel_config() const { return kernel_config_; }
 
+  /// Opt-in int8 activation-scale caching (see DenseLayer); propagated to
+  /// every dense layer, including layers added later. Default off — the
+  /// int8 tier's bit-stability contract only covers the default.
+  void set_activation_scale_caching(bool enabled);
+  bool activation_scale_caching() const { return act_scale_cache_; }
+
+  /// Per-layer kernel descriptions ("dense_2: int8[...]"), one entry per
+  /// layer — telemetry and the bench report surface these so the tuned
+  /// registry decisions are observable.
+  std::vector<std::string> KernelDescriptions() const;
+
   const Shape& input_shape() const { return input_shape_; }
   /// Activation shape entering layer i (i == LayerCount() gives the output).
   const Shape& ShapeAt(std::size_t i) const { return shapes_.at(i); }
@@ -78,6 +89,13 @@ class Model {
   /// activations[i] is the input of layer i, activations[LayerCount()] the
   /// final output.
   std::vector<Tensor> ForwardCollect(const Tensor& input) const;
+
+  /// Batched ForwardCollect: `batch` is (B, input_shape...) and
+  /// activations[i] is the batched input of layer i. Runs the layers'
+  /// ForwardBatch kernels, so a whole training shard moves through each
+  /// GEMM as one stacked product; bit-identical per sample to
+  /// ForwardCollect at the exact tier.
+  std::vector<Tensor> ForwardCollectBatch(Tensor batch) const;
 
   /// argmax of Predict — the predicted class for classification heads.
   std::size_t Classify(const Tensor& input) const;
@@ -107,6 +125,7 @@ class Model {
   std::vector<Shape> shapes_{input_shape_};  // shapes_[i] = input of layer i
   std::vector<std::unique_ptr<Layer>> layers_;
   KernelConfig kernel_config_ = KernelConfig::kExact;
+  bool act_scale_cache_ = false;
   // mutable: PredictBatch is const; the profiler's relaxed adds are the
   // observability side-channel, not model state.
   mutable obs::LayerProfiler profiler_;

@@ -12,26 +12,26 @@
 namespace milr::nn {
 namespace {
 
-/// softmax(logits) − one_hot(label); returns loss via out-param.
-Tensor SoftmaxCrossEntropyGrad(const Tensor& logits, std::size_t label,
-                               double& loss) {
-  Tensor grad = logits;
+/// softmax(logits) − one_hot(label) for one row of a stacked logits
+/// matrix, written into `grad`; adds the sample loss to `loss`.
+void SoftmaxCrossEntropyGradRow(const float* logits, std::size_t classes,
+                                std::size_t label, float* grad,
+                                double& loss) {
   float max_logit = logits[0];
-  for (std::size_t i = 1; i < logits.size(); ++i) {
+  for (std::size_t i = 1; i < classes; ++i) {
     max_logit = std::max(max_logit, logits[i]);
   }
   double sum = 0.0;
-  for (std::size_t i = 0; i < logits.size(); ++i) {
+  for (std::size_t i = 0; i < classes; ++i) {
     sum += std::exp(static_cast<double>(logits[i] - max_logit));
   }
   const double log_sum = std::log(sum) + max_logit;
-  loss = log_sum - logits[label];
-  for (std::size_t i = 0; i < grad.size(); ++i) {
+  loss += log_sum - logits[label];
+  for (std::size_t i = 0; i < classes; ++i) {
     grad[i] = static_cast<float>(
         std::exp(static_cast<double>(logits[i]) - log_sum));
   }
   grad[label] -= 1.0f;
-  return grad;
 }
 
 /// Per-layer gradient buffers matching the model's parameter layout.
@@ -98,26 +98,40 @@ std::vector<EpochStats> Fit(Model& model, const Dataset& train,
         const std::size_t hi = std::min(end, lo + per_shard);
         if (lo >= hi) return;
         auto grads = MakeGradBuffers(model);
-        for (std::size_t s = lo; s < hi; ++s) {
-          const Tensor& image = train.images[order[s]];
-          const std::size_t label = train.labels[order[s]];
-          const auto activations = model.ForwardCollect(image);
-          const Tensor& logits = activations.back();
-          {
-            std::size_t best = 0;
-            for (std::size_t c = 1; c < logits.size(); ++c) {
-              if (logits[c] > logits[best]) best = c;
-            }
-            if (best == label) ++shard_correct[shard];
+        const std::size_t count = hi - lo;
+        // Stack the shard so the whole forward AND backward pass runs
+        // batched: each dense dW/dX is ONE (stacked) transposed GEMM
+        // instead of `count` single-row calls. At the exact tier (the
+        // default for training) every batched kernel accumulates in the
+        // per-sample loop's element order, so gradients, losses and
+        // accuracy are bit-identical to the unbatched formulation.
+        const Shape& sample_shape = train.images[order[lo]].shape();
+        const std::size_t sample_size = sample_shape.NumElements();
+        Tensor xb(WithBatchAxis(count, sample_shape));
+        for (std::size_t s = 0; s < count; ++s) {
+          std::copy_n(train.images[order[lo + s]].data(), sample_size,
+                      xb.data() + s * sample_size);
+        }
+        const auto activations = model.ForwardCollectBatch(std::move(xb));
+        const Tensor& logits = activations.back();  // (count, classes)
+        const std::size_t classes = logits.size() / count;
+        Tensor grad(logits.shape());
+        for (std::size_t s = 0; s < count; ++s) {
+          const std::size_t label = train.labels[order[lo + s]];
+          const float* row = logits.data() + s * classes;
+          std::size_t best = 0;
+          for (std::size_t c = 1; c < classes; ++c) {
+            if (row[c] > row[best]) best = c;
           }
-          double loss = 0.0;
-          Tensor grad = SoftmaxCrossEntropyGrad(logits, label, loss);
-          shard_loss[shard] += loss;
-          for (std::size_t li = layer_count; li-- > 0;) {
-            grad = model.layer(li).Backward(activations[li],
-                                            activations[li + 1], grad,
-                                            grads[li]);
-          }
+          if (best == label) ++shard_correct[shard];
+          SoftmaxCrossEntropyGradRow(row, classes, label,
+                                     grad.data() + s * classes,
+                                     shard_loss[shard]);
+        }
+        for (std::size_t li = layer_count; li-- > 0;) {
+          grad = model.layer(li).BackwardBatch(activations[li],
+                                               activations[li + 1], grad,
+                                               grads[li]);
         }
         shard_grads[shard] = std::move(grads);
       });

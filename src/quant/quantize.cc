@@ -77,4 +77,29 @@ float QuantizeActivationRow(const float* a, std::size_t k,
   return scale;
 }
 
+bool QuantizeActivationRowWithScale(const float* a, std::size_t k,
+                                    float scale, std::int16_t* out,
+                                    float* maxabs) {
+  float row_maxabs = 0.0f;
+  for (std::size_t p = 0; p < k; ++p) {
+    const float v = a[p];
+    if (std::isfinite(v)) row_maxabs = std::max(row_maxabs, std::fabs(v));
+  }
+  if (maxabs != nullptr) *maxabs = row_maxabs;
+  if (!(scale > 0.0f) ||
+      row_maxabs > scale * static_cast<float>(kActivationQuantMax)) {
+    return false;
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const float v = a[p];
+    std::int32_t qv = 0;
+    if (std::isfinite(v)) {
+      qv = std::clamp(static_cast<std::int32_t>(std::lrintf(v / scale)),
+                      -kActivationQuantMax, kActivationQuantMax);
+    }
+    out[p] = static_cast<std::int16_t>(qv);
+  }
+  return true;
+}
+
 }  // namespace milr::quant

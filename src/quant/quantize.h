@@ -95,4 +95,19 @@ void DequantizeWeights(const QuantizedWeights& q, float* out);
 float QuantizeActivationRow(const float* a, std::size_t k,
                             std::int16_t* out);
 
+/// Quantizes one row with a PRE-COMPUTED scale — the activation-scale
+/// cache on the int8 serving path reuses a layer's running scale across
+/// rows and requests instead of re-deriving one per row. Saturation guard:
+/// when `scale` is not positive, or some finite |a[p]| exceeds
+/// scale * kActivationQuantMax (the cached range would clip the row),
+/// returns false WITHOUT a usable `out` — the caller must fall back to
+/// QuantizeActivationRow and widen its cache. Either way `*maxabs` (if
+/// non-null) receives the row's finite max-abs, which is exactly the
+/// value the caller feeds its running maximum. Trades the per-row
+/// adaptive range for a stable scale, so results differ from the
+/// uncached path in general — callers keep this opt-in.
+bool QuantizeActivationRowWithScale(const float* a, std::size_t k,
+                                    float scale, std::int16_t* out,
+                                    float* maxabs);
+
 }  // namespace milr::quant

@@ -17,6 +17,8 @@ ModelRuntimeConfig RuntimeConfigFrom(const EngineConfig& config) {
   runtime.max_batch = config.max_batch;
   runtime.batch_linger = config.batch_linger;
   runtime.kernel = config.kernel;
+  runtime.autotune_budget_ms = config.autotune_budget_ms;
+  runtime.activation_scale_cache = config.activation_scale_cache;
   runtime.milr = config.milr;
   return runtime;
 }

@@ -152,6 +152,27 @@ std::string RenderHostExposition(const ServingHost& host) {
     families.push_back(std::move(seconds));
     families.push_back(std::move(mean_us));
   }
+
+  // Per-layer kernel selection, Prometheus info-style: the chosen tier and
+  // registry plan ride in the labels, the value is constant 1. Only layers
+  // with parameters are listed — those are the ones with GEMM plans.
+  obs::MetricFamily kernels;
+  kernels.name = "milr_layer_kernel_info";
+  kernels.help = "Kernel tier and registry plan serving each layer.";
+  kernels.type = "gauge";
+  for (const auto& handle : handles) {
+    const nn::Model& model = handle->model();
+    for (std::size_t i = 0; i < model.LayerCount(); ++i) {
+      const nn::Layer& layer = model.layer(i);
+      if (layer.ParamCount() == 0) continue;
+      const std::string labels =
+          ModelLabel(handle->name()) + ",layer=\"" +
+          obs::EscapeLabelValue(layer.name()) + "\",kernel=\"" +
+          obs::EscapeLabelValue(layer.KernelDescription()) + "\"";
+      kernels.samples.push_back(obs::MetricSample{labels, 1.0});
+    }
+  }
+  if (!kernels.samples.empty()) families.push_back(std::move(kernels));
   return obs::RenderPrometheusText(families);
 }
 

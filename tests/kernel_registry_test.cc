@@ -1,0 +1,445 @@
+// Tests for the autotuned kernel registry (nn/kernel_registry.h):
+// deterministic plans under a zero budget, plan caching and bounded tune
+// time, ISA micro-kernels against their oracles (clean skips off-ISA),
+// transposed fast kernels against double references, packed-panel
+// invalidation when the plan's blocking changes, batched backward
+// bit-identity, and the opt-in int8 activation-scale cache.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.h"
+#include "nn/gemm.h"
+#include "nn/kernel_registry.h"
+#include "nn/model.h"
+#include "nn/train.h"
+#include "quant/gemm_int8.h"
+#include "quant/quantize.h"
+#include "support/prng.h"
+
+namespace milr::nn {
+namespace {
+
+/// Saves/restores the process-wide registry knobs so tests cannot leak
+/// budget or pin overrides into each other; every test starts from an
+/// empty plan cache.
+class KernelRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_budget_ = KernelRegistry::Get().autotune_budget_ms();
+    saved_pin_ = KernelRegistry::Get().pin();
+    KernelRegistry::Get().Reset();
+  }
+  void TearDown() override {
+    KernelRegistry::Get().set_autotune_budget_ms(saved_budget_);
+    KernelRegistry::Get().set_pin(saved_pin_);
+    KernelRegistry::Get().Reset();
+  }
+
+ private:
+  double saved_budget_ = 0.0;
+  KernelRegistry::Pin saved_pin_ = KernelRegistry::Pin::kNone;
+};
+
+void FillRandom(float* data, std::size_t count, std::uint64_t seed) {
+  Prng prng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    data[i] = prng.NextFloat(-0.5f, 0.5f);
+  }
+}
+
+bool PlansEqual(const GemmPlan& a, const GemmPlan& b) {
+  return a.thin == b.thin && a.direct == b.direct && a.packed == b.packed &&
+         a.kc == b.kc && a.int8 == b.int8 && a.ta == b.ta && a.tb == b.tb;
+}
+
+TEST_F(KernelRegistryTest, ZeroBudgetPlansAreDeterministicHeuristics) {
+  KernelRegistry::Get().set_autotune_budget_ms(0.0);
+  const GemmPlan first = KernelRegistry::Get().PlanFor(320, 256);
+  EXPECT_FALSE(first.tuned);
+  EXPECT_EQ(first.tune_ms, 0.0);
+  KernelRegistry::Get().Reset();
+  const GemmPlan second = KernelRegistry::Get().PlanFor(320, 256);
+  EXPECT_TRUE(PlansEqual(first, second))
+      << DescribeGemmPlan(first) << " vs " << DescribeGemmPlan(second);
+  // The heuristic plan IS the legacy fixed dispatch, so the "fixed" pin
+  // must reproduce it exactly.
+  KernelRegistry::Get().set_pin(KernelRegistry::Pin::kFixed);
+  KernelRegistry::Get().Reset();
+  const GemmPlan fixed = KernelRegistry::Get().PlanFor(320, 256);
+  EXPECT_TRUE(PlansEqual(first, fixed))
+      << DescribeGemmPlan(first) << " vs " << DescribeGemmPlan(fixed);
+}
+
+TEST_F(KernelRegistryTest, PlansAreCachedPerShapeAndStatsCount) {
+  KernelRegistry::Get().set_autotune_budget_ms(0.0);
+  (void)KernelRegistry::Get().PlanFor(128, 64);
+  (void)KernelRegistry::Get().PlanFor(128, 64);
+  (void)KernelRegistry::Get().PlanFor(64, 128);
+  const KernelRegistry::Stats stats = KernelRegistry::Get().stats();
+  EXPECT_EQ(stats.plans, 2u);
+  EXPECT_EQ(stats.tuned, 0u);  // zero budget: nothing measured
+}
+
+TEST_F(KernelRegistryTest, TunedPlanRespectsTimeBudgetApproximately) {
+  const double budget_ms = 20.0;
+  KernelRegistry::Get().set_autotune_budget_ms(budget_ms);
+  const GemmPlan plan = KernelRegistry::Get().PlanFor(320, 256);
+  EXPECT_TRUE(plan.tuned);
+  EXPECT_GT(plan.tune_ms, 0.0);
+  // The budget bounds measurement up to one trailing repetition per
+  // candidate; 5x headroom keeps this robust on slow CI machines while
+  // still catching an unbounded tuner.
+  EXPECT_LT(plan.tune_ms, budget_ms * 5.0);
+  const KernelRegistry::Stats stats = KernelRegistry::Get().stats();
+  EXPECT_EQ(stats.tuned, 1u);
+  EXPECT_GE(stats.total_tune_ms, plan.tune_ms);
+}
+
+TEST_F(KernelRegistryTest, PlannedFastGemmMatchesExactForAllRowClasses) {
+  KernelRegistry::Get().set_autotune_budget_ms(5.0);
+  const std::size_t k = 96, n = 80;
+  GemmPlan plan = KernelRegistry::Get().PlanFor(k, n);
+  std::vector<float> b(k * n);
+  FillRandom(b.data(), b.size(), 7);
+  std::vector<float> bpack(PackedBSize(k, n, plan.kc));
+  PackBPanels(b.data(), k, n, bpack.data(), plan.kc);
+  // Thin (m=2), direct (m=32), packed-prepacked (m=32), packed on the fly
+  // (m=160 > kDirectMaxRows) all must agree with the exact tier.
+  for (const std::size_t m : {std::size_t{2}, std::size_t{32},
+                              std::size_t{160}}) {
+    std::vector<float> a(m * k), want(m * n, 0.0f);
+    FillRandom(a.data(), a.size(), 100 + m);
+    GemmAccumulate(a.data(), b.data(), want.data(), m, k, n);
+    std::vector<float> got(m * n, 0.0f);
+    RunFastGemm(&plan, a.data(), b.data(), nullptr, got.data(), m, k, n);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-3f * (1.0f + std::fabs(want[i])))
+          << "m=" << m << " i=" << i;
+    }
+    if (m >= 4) {
+      std::vector<float> got2(m * n, 0.0f);
+      RunFastGemm(&plan, a.data(), b.data(), bpack.data(), got2.data(), m,
+                  k, n);
+      for (std::size_t i = 0; i < got2.size(); ++i) {
+        ASSERT_NEAR(got2[i], want[i], 1e-3f * (1.0f + std::fabs(want[i])))
+            << "prepacked m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelRegistryTest, Avx512KernelsMatchDoubleOracle) {
+#ifdef MILR_GEMM_HAVE_AVX512
+  if (!gemm_detail::HasAvx512f()) {
+    GTEST_SKIP() << "no AVX-512F on this machine";
+  }
+  const std::size_t m = 13, k = 517, n = 37;  // odd everything
+  std::vector<float> a(m * k), b(k * n), c0(m * n);
+  FillRandom(a.data(), a.size(), 1);
+  FillRandom(b.data(), b.size(), 2);
+  FillRandom(c0.data(), c0.size(), 3);
+  std::vector<double> ref(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c0[i * n + j];
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) *
+               static_cast<double>(b[p * n + j]);
+      }
+      ref[i * n + j] = acc;
+    }
+  }
+  {
+    std::vector<float> c(c0);
+    gemm_detail::DirectTileKernelAvx512(a.data(), b.data(), c.data(), m, k,
+                                        n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], ref[i], 1e-3 * (1.0 + std::fabs(ref[i])))
+          << "direct i=" << i;
+    }
+  }
+  {
+    std::vector<float> c(c0);
+    gemm_detail::PackedGemm(a.data(), b.data(), c.data(), m, k, n, 192,
+                            [](const float* ap, const float* bp,
+                               std::size_t kc, float* cacc) {
+                              gemm_detail::MicroKernelAvx512(ap, bp, kc,
+                                                             cacc);
+                            });
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], ref[i], 1e-3 * (1.0 + std::fabs(ref[i])))
+          << "packed i=" << i;
+    }
+  }
+#else
+  GTEST_SKIP() << "built without AVX-512 support";
+#endif
+}
+
+TEST_F(KernelRegistryTest, VnniKernelBitExactAgainstGeneric) {
+  if (!quant::Int8KernelSupported(quant::Int8Kernel::kVnni)) {
+    GTEST_SKIP() << "no AVX-512 VNNI on this machine";
+  }
+  const std::size_t m = 9, k = 333, n = 29;
+  std::vector<float> a(m * k), b(k * n);
+  FillRandom(a.data(), a.size(), 4);
+  FillRandom(b.data(), b.size(), 5);
+  const std::size_t astride = quant::Int8PaddedDepth(k);
+  std::vector<std::int16_t> aq(m * astride, 0);
+  std::vector<float> row_scales(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    row_scales[i] = quant::QuantizeActivationRow(a.data() + i * k, k,
+                                                 aq.data() + i * astride);
+  }
+  const quant::Int8ServingWeights wq =
+      quant::PrepareInt8ServingWeights(b.data(), k, n);
+  std::vector<float> want(m * n, 0.0f), got(m * n, 0.0f);
+  quant::GemmInt8DequantWith(quant::Int8Kernel::kGeneric, aq.data(),
+                             astride, row_scales.data(), wq.panels.data(),
+                             wq.scales.data(), want.data(), m, k, n);
+  quant::GemmInt8DequantWith(quant::Int8Kernel::kVnni, aq.data(), astride,
+                             row_scales.data(), wq.panels.data(),
+                             wq.scales.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Bit-for-bit: the int8 tier's stability contract spans kernels.
+    ASSERT_EQ(got[i], want[i]) << "i=" << i;
+  }
+}
+
+TEST_F(KernelRegistryTest, TransposedFastKernelsMatchDoubleOracle) {
+  const std::size_t m = 48, k = 200, n = 33;
+  // dW: C(m,n) += Aᵀ·B with A stored (k, m).
+  {
+    std::vector<float> at(k * m), b(k * n), c(m * n);
+    FillRandom(at.data(), at.size(), 6);
+    FillRandom(b.data(), b.size(), 7);
+    FillRandom(c.data(), c.size(), 8);
+    std::vector<double> ref(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = c[i * n + j];
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += static_cast<double>(at[p * m + i]) *
+                 static_cast<double>(b[p * n + j]);
+        }
+        ref[i * n + j] = acc;
+      }
+    }
+    GemmTransposedAAccumulateFast(at.data(), b.data(), c.data(), m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], ref[i], 1e-3 * (1.0 + std::fabs(ref[i])))
+          << "ta i=" << i;
+    }
+  }
+  // dX: C(m,n) += A·Bᵀ with B stored (n, k).
+  {
+    std::vector<float> a(m * k), bt(n * k), c(m * n);
+    FillRandom(a.data(), a.size(), 9);
+    FillRandom(bt.data(), bt.size(), 10);
+    FillRandom(c.data(), c.size(), 11);
+    std::vector<double> ref(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = c[i * n + j];
+        for (std::size_t p = 0; p < k; ++p) {
+          acc += static_cast<double>(a[i * k + p]) *
+                 static_cast<double>(bt[j * k + p]);
+        }
+        ref[i * n + j] = acc;
+      }
+    }
+    GemmTransposedBAccumulateFast(a.data(), bt.data(), c.data(), m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], ref[i], 1e-3 * (1.0 + std::fabs(ref[i])))
+          << "tb i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelRegistryTest, DenseRepacksWhenPlanBlockingChanges) {
+  KernelRegistry::Get().set_autotune_budget_ms(0.0);
+  DenseLayer layer(96, 64);
+  {
+    Tensor& w = layer.weights();
+    FillRandom(w.data(), w.size(), 12);
+  }
+  Tensor batch(Shape{8, 96});
+  FillRandom(batch.data(), batch.size(), 13);
+  Tensor exact = layer.ForwardBatch(batch);  // default tier: exact
+
+  layer.set_kernel_config(KernelConfig::kFast);
+  ASSERT_TRUE(layer.has_plan());
+  const std::size_t kc_before = layer.plan().kc;
+  Tensor fast = layer.ForwardBatch(batch);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_NEAR(fast[i], exact[i], 1e-3f * (1.0f + std::fabs(exact[i])));
+  }
+
+  // Force a different blocking through the cache: re-tune with a real
+  // budget. Whatever kc wins, serving must stay correct — if kc changed,
+  // that correctness proves the stale panels were repacked.
+  KernelRegistry::Get().Reset();
+  KernelRegistry::Get().set_autotune_budget_ms(10.0);
+  layer.set_kernel_config(KernelConfig::kFast);
+  ASSERT_TRUE(layer.plan().tuned);
+  Tensor fast2 = layer.ForwardBatch(batch);
+  for (std::size_t i = 0; i < fast2.size(); ++i) {
+    ASSERT_NEAR(fast2[i], exact[i], 1e-3f * (1.0f + std::fabs(exact[i])));
+  }
+  EXPECT_TRUE(layer.packed_weights_valid());
+  (void)kc_before;  // the tuner may legitimately re-pick the same kc
+}
+
+TEST_F(KernelRegistryTest, BatchedBackwardBitIdenticalAtExactTier) {
+  KernelRegistry::Get().set_autotune_budget_ms(0.0);
+  Model model(Shape{24});
+  model.AddDense(16).AddBias().AddReLU().AddDense(10);
+  Prng prng(31);
+  model.ForEachParamLayer([&](std::size_t, Layer& layer) {
+    auto params = layer.Params();
+    for (float& p : params) {
+      p = prng.NextFloat(-0.5f, 0.5f);
+    }
+  });
+
+  const std::size_t batch = 5;
+  Tensor xb(Shape{batch, 24});
+  Tensor dyb(Shape{batch, 10});
+  FillRandom(xb.data(), xb.size(), 14);
+  FillRandom(dyb.data(), dyb.size(), 15);
+
+  // Reference: per-sample ForwardCollect + Backward, accumulating grads.
+  std::vector<std::vector<float>> want_grads(model.LayerCount());
+  for (std::size_t li = 0; li < model.LayerCount(); ++li) {
+    want_grads[li].assign(model.layer(li).ParamCount(), 0.0f);
+  }
+  Tensor want_dx(xb.shape());
+  for (std::size_t s = 0; s < batch; ++s) {
+    Tensor x(Shape{24});
+    std::copy_n(xb.data() + s * 24, 24, x.data());
+    const auto acts = model.ForwardCollect(x);
+    Tensor grad(Shape{10});
+    std::copy_n(dyb.data() + s * 10, 10, grad.data());
+    for (std::size_t li = model.LayerCount(); li-- > 0;) {
+      grad = model.layer(li).Backward(acts[li], acts[li + 1], grad,
+                                      want_grads[li]);
+    }
+    std::copy_n(grad.data(), 24, want_dx.data() + s * 24);
+  }
+
+  // Batched: ForwardCollectBatch + BackwardBatch.
+  std::vector<std::vector<float>> got_grads(model.LayerCount());
+  for (std::size_t li = 0; li < model.LayerCount(); ++li) {
+    got_grads[li].assign(model.layer(li).ParamCount(), 0.0f);
+  }
+  const auto acts = model.ForwardCollectBatch(xb);
+  Tensor grad = dyb;
+  for (std::size_t li = model.LayerCount(); li-- > 0;) {
+    grad = model.layer(li).BackwardBatch(acts[li], acts[li + 1], grad,
+                                         got_grads[li]);
+  }
+  for (std::size_t li = 0; li < model.LayerCount(); ++li) {
+    ASSERT_EQ(got_grads[li].size(), want_grads[li].size());
+    for (std::size_t p = 0; p < got_grads[li].size(); ++p) {
+      // Bit-identical, not merely close: the batched kernels accumulate
+      // in the per-sample loop's element order.
+      ASSERT_EQ(got_grads[li][p], want_grads[li][p])
+          << "layer " << li << " param " << p;
+    }
+  }
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    ASSERT_EQ(grad[i], want_dx[i]) << "dx " << i;
+  }
+}
+
+TEST_F(KernelRegistryTest, TrainingStillLearnsWithBatchedBackward) {
+  KernelRegistry::Get().set_autotune_budget_ms(0.0);
+  Model model(Shape{16});
+  model.AddDense(24).AddBias().AddReLU().AddDense(4);
+  Prng prng(77);
+  model.ForEachParamLayer([&](std::size_t, Layer& layer) {
+    auto params = layer.Params();
+    for (float& p : params) {
+      p = prng.NextFloat(-0.2f, 0.2f);
+    }
+  });
+  Dataset data;
+  for (std::size_t i = 0; i < 64; ++i) {
+    Tensor image(Shape{16});
+    const std::size_t label = i % 4;
+    for (std::size_t j = 0; j < 16; ++j) {
+      image[j] = (j % 4 == label ? 1.0f : 0.0f) +
+                 prng.NextFloat(-0.05f, 0.05f);
+    }
+    data.images.push_back(std::move(image));
+    data.labels.push_back(label);
+  }
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.learning_rate = 0.1f;
+  const auto history = Fit(model, data, config);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GT(Evaluate(model, data), 0.9);
+}
+
+TEST_F(KernelRegistryTest, ActivationScaleCacheLifecycleAndAccuracy) {
+  KernelRegistry::Get().set_autotune_budget_ms(0.0);
+  DenseLayer layer(64, 48);
+  {
+    Tensor& w = layer.weights();
+    FillRandom(w.data(), w.size(), 16);
+  }
+  Tensor batch(Shape{8, 64});
+  FillRandom(batch.data(), batch.size(), 17);
+  layer.set_kernel_config(KernelConfig::kInt8);
+  const Tensor baseline = layer.ForwardBatch(batch);
+
+  // Default off: repeated serves are bit-identical and no range is kept.
+  const Tensor again = layer.ForwardBatch(batch);
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    ASSERT_EQ(again[i], baseline[i]);
+  }
+  EXPECT_EQ(layer.cached_activation_maxabs(), 0.0f);
+
+  // Opt in: the running max-abs populates and outputs stay within the
+  // int8 tier's tolerance of the fp32 fast path.
+  layer.set_activation_scale_caching(true);
+  Tensor exact(Shape{8, 48});
+  {
+    DenseLayer ref(64, 48);
+    Tensor& w = ref.weights();
+    FillRandom(w.data(), w.size(), 16);
+    exact = ref.ForwardBatch(batch);
+  }
+  const Tensor cached = layer.ForwardBatch(batch);
+  EXPECT_GT(layer.cached_activation_maxabs(), 0.0f);
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_NEAR(cached[i], exact[i], 0.05f * (1.0f + std::fabs(exact[i])));
+  }
+
+  // Saturation guard: rows 100x hotter than the cached range must fall
+  // back to per-row scales (and widen the cache), not clip.
+  Tensor hot(batch.shape());
+  for (std::size_t i = 0; i < hot.size(); ++i) hot[i] = batch[i] * 100.0f;
+  const float before = layer.cached_activation_maxabs();
+  const Tensor served_hot = layer.ForwardBatch(hot);
+  EXPECT_GT(layer.cached_activation_maxabs(), before * 50.0f);
+  // Quantization error scales with the dot product's terms, not its
+  // (cancellation-prone) sum: k * max|a| * max|w| / 254 for the 8-bit
+  // weights plus the 12-bit activation term ~= 64*50*0.5/254 + 0.4 < 8.
+  for (std::size_t i = 0; i < served_hot.size(); ++i) {
+    const float want = exact[i] * 100.0f;
+    ASSERT_NEAR(served_hot[i], want, 8.0f);
+  }
+
+  // Weight mutation invalidates the cached range with the weight caches.
+  (void)layer.Params();
+  EXPECT_EQ(layer.cached_activation_maxabs(), 0.0f);
+}
+
+}  // namespace
+}  // namespace milr::nn
