@@ -48,6 +48,12 @@ DEFAULT_TOLERANCES = {
     # Hard ceiling on total autotune wall time (ms) across every plan the
     # bench run tuned — the "bounded configuration cost" acceptance.
     "autotune_total_ms_max": 5000.0,
+    # The lock-free request queue must not lose to the mutex oracle it
+    # replaced on the most contended producersxconsumers sweep point.
+    # Same-process A/B of the same driver, so no extra noise scale: a
+    # ratio under 1.0 means the refactor is a pessimization right where
+    # it is supposed to pay.
+    "queue_lockfree_over_mutex_min": 1.0,
     # Only used when enforce_absolute is true.
     "qps_rel_pct": 30.0,
     "p99_rel_pct": 75.0,
@@ -62,6 +68,7 @@ MEASURED_SECTIONS = (
     "trained_agreement",
     "phases",
     "cohost",
+    "queue",
     "tracing",
 )
 
@@ -156,6 +163,19 @@ def compare(baseline, current):
                        row["shared_over_separate"],
                        base["shared_over_separate"] * ratio_scale,
                        context=f" (models={row['models']})")
+
+    # --- request queue: lockfree vs mutex on the contended sweep point.
+    # Current-run-only (like the registry floor): both kinds are measured
+    # in the same process by the same driver, so the ratio needs no
+    # baseline to compare against — just the absolute floor. The bench
+    # omits the field when no sweep point fits the host's hardware
+    # threads (a 1-core runner cannot produce real contention), so the
+    # presence check below doubles as the skip.
+    cur_queue = current.get("queue", {})
+    if "contended_lockfree_over_mutex" in cur_queue:
+        comp.check_min("queue.contended_lockfree_over_mutex",
+                       cur_queue["contended_lockfree_over_mutex"],
+                       tol["queue_lockfree_over_mutex_min"])
 
     # --- flight recorder: enabled-tracing overhead stays bounded.
     cur_tracing = current.get("tracing", {})

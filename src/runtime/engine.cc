@@ -14,6 +14,7 @@ ServingHostConfig HostConfigFrom(const EngineConfig& config) {
 ModelRuntimeConfig RuntimeConfigFrom(const EngineConfig& config) {
   ModelRuntimeConfig runtime;
   runtime.queue_capacity = config.queue_capacity;
+  runtime.queue_kind = config.queue_kind;
   runtime.max_batch = config.max_batch;
   runtime.batch_linger = config.batch_linger;
   runtime.kernel = config.kernel;

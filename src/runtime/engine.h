@@ -52,6 +52,11 @@ struct EngineConfig {
   /// workers than cores, batched layers fan out internally instead.
   std::size_t worker_threads = DefaultWorkerThreads();
   std::size_t queue_capacity = 256;
+  /// Which BoundedQueue implementation backs admission (request_queue.h):
+  /// the lock-free MPMC ring by default, the mutex oracle via
+  /// MILR_QUEUE=mutex or an explicit override here. Serving results are
+  /// bit-identical across kinds; only contention behavior differs.
+  QueueKind queue_kind = DefaultQueueKind();
   /// Dynamic micro-batching: a worker drains up to `max_batch` queued
   /// requests and serves them with one PredictBatch under a single
   /// shared-lock acquisition. 1 disables batching entirely.

@@ -1,0 +1,148 @@
+// EventCount: a futex-style park/wake primitive for lock-free condition
+// waiting — the wakeup half of the lock-free request path.
+//
+// A condition variable forces its signaller through a mutex; on the hot
+// submit path that re-serializes every producer against every parked
+// worker. An eventcount splits the protocol so the FAST path (nobody
+// waiting) is two uncontended atomic ops and no lock:
+//
+//   waiter                                 notifier
+//   ------                                 --------
+//   t = PrepareWait()   (waiters++, fence) make condition true
+//   recheck condition ──── if satisfied ─▶ NotifyOne()  (fence, then
+//     CancelWait(); consume                 waiters? 0 → done, else
+//   else CommitWait(t)  (park until          epoch++ and wake)
+//     epoch != t)
+//
+// The no-lost-wakeup argument is the classic store-buffering (Dekker)
+// shape: the waiter WRITES waiters then READS the condition; the notifier
+// WRITES the condition then READS waiters, with a seq_cst fence between
+// its two accesses on each side (PrepareWait's fence, Notify*'s fence).
+// Fenced store-buffering guarantees at least one side sees the other's
+// write — either the waiter's recheck sees the condition and skips the
+// park, or the notifier sees waiters > 0 and posts a real wakeup (epoch
+// bump + notify). Seeing waiters == 0 therefore proves no waiter can park
+// on the stale condition, which is what makes the no-waiter fast path a
+// LOCAL fence + one shared read — no contended RMW on the epoch line per
+// push/pop, the difference between this and a mutex at high producer
+// counts. The only contract the caller must keep: ALWAYS recheck the
+// condition between PrepareWait and CommitWait, and make the condition
+// visible before calling Notify*.
+//
+// The slow path parks on a plain mutex + condition_variable — this is the
+// "futex-style" part: the lock exists only for parked threads, never on
+// the producer/consumer fast path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace milr::runtime {
+
+class EventCount {
+ public:
+  /// The epoch observed at registration; CommitWait sleeps until it moves.
+  using Ticket = std::uint64_t;
+
+  EventCount() = default;
+  EventCount(const EventCount&) = delete;
+  EventCount& operator=(const EventCount&) = delete;
+
+  /// Registers this thread as a waiter and returns the current epoch.
+  /// The caller MUST recheck its condition after this call and then either
+  /// CancelWait() (condition already satisfied) or CommitWait*(ticket).
+  Ticket PrepareWait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // Orders the waiter registration before the condition recheck that
+    // follows in the caller — the waiter half of the Dekker handshake.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Deregisters without sleeping (the recheck found the condition true).
+  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Parks until the epoch moves past `ticket`. Returns immediately if a
+  /// Notify* already landed between PrepareWait and this call.
+  void CommitWait(Ticket ticket) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != ticket;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Deadline-bounded park. Returns true when woken by a Notify* (epoch
+  /// moved), false when the deadline expired first.
+  bool CommitWaitUntil(Ticket ticket,
+                       std::chrono::steady_clock::time_point deadline) {
+    bool woken;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      woken = cv_.wait_until(lock, deadline, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != ticket;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    return woken;
+  }
+
+  /// Wakes one parked waiter (and invalidates every outstanding ticket).
+  /// Callers must make the condition visible BEFORE this call. The fence +
+  /// waiters check is the notifier half of the Dekker handshake (see file
+  /// comment): waiters == 0 after the fence proves no waiter can park on
+  /// the stale condition, so the no-waiter fast path touches no shared
+  /// line in modified state — the epoch RMW happens only when someone is
+  /// actually registered.
+  void NotifyOne() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    WakeParked(/*all=*/false);
+  }
+
+  /// Wakes every parked waiter. Same contract as NotifyOne.
+  void NotifyAll() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    WakeParked(/*all=*/true);
+  }
+
+  /// True when any thread is registered (PrepareWait'd, possibly parked).
+  /// Advisory — for stats/tests, not for gating notifies (Notify* already
+  /// gates internally).
+  bool HasWaiters() const {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return waiters_.load(std::memory_order_seq_cst) != 0;
+  }
+
+ private:
+  void WakeParked(bool all) {
+    // The empty lock passage is load-bearing: a registered waiter is
+    // either (a) already asleep in cv_.wait — it released mutex_, our
+    // passage serializes after, the notify below reaches it — or (b) not
+    // yet past the predicate check — then its epoch load happens after
+    // our unlock (mutex synchronizes) and must observe the bump, so it
+    // never sleeps. Notifying without the passage could land in the
+    // window between a waiter's predicate check and its actual sleep.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    if (all) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> waiters_{0};
+  std::mutex mutex_;              // parked threads only — never the fast path
+  std::condition_variable cv_;
+};
+
+}  // namespace milr::runtime

@@ -47,6 +47,11 @@ class Scheduler;
 /// (ServingHostConfig); everything request-path lives here.
 struct ModelRuntimeConfig {
   std::size_t queue_capacity = 256;
+  /// Which BoundedQueue implementation backs this model's admission queue
+  /// (see request_queue.h): the lock-free MPMC ring by default, or the
+  /// mutex oracle via MILR_QUEUE=mutex / an explicit override here. Both
+  /// satisfy the same contract; serving results are bit-identical.
+  QueueKind queue_kind = DefaultQueueKind();
   /// Dynamic micro-batching: a worker drains up to `max_batch` queued
   /// requests and serves them with one PredictBatch under a single
   /// shared-lock acquisition. 1 disables batching entirely.

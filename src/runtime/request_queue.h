@@ -5,54 +5,127 @@
 // backpressure (blocking Push) or load shedding (TryPush + a rejection
 // metric) instead of unbounded memory growth — the first thing a serving
 // layer needs that the batch experiments never did.
+//
+// Two implementations live behind one surface, selected per queue at
+// construction (QueueKind, default from the MILR_QUEUE env):
+//
+//   * MutexQueue — the original mutex + condition_variable queue. Simple
+//     enough to be OBVIOUSLY correct; retained as the oracle the
+//     differential tests (tests/queue_differential_test.cc) run the
+//     lock-free queue against, and as the escape hatch
+//     (MILR_QUEUE=mutex) if the ring misbehaves on an exotic platform.
+//   * LockfreeQueue — a Vyukov-style bounded MPMC ring (mpmc_ring.h)
+//     with eventcount parking (eventcount.h) for backpressure, blocking
+//     pops and batch linger. The producer/consumer fast paths take no
+//     lock; the eventcount mutex exists only for parked threads.
+//
+// Both kinds satisfy the same contract, which the layers above depend on:
+//   - Push blocks on full, fails only on closed; TryPush sheds on full or
+//     closed leaving the item untouched; admission stamps (PushWith) fire
+//     at the admission instant, after any backpressure wait.
+//   - Pop blocks; returns nullopt only once closed AND drained.
+//   - TryPopBatch on an empty queue returns 0 immediately (open or
+//     closed); a closed queue never lingers; closed-with-backlog drains.
+//   - After Close() returns, no later push succeeds and every push that
+//     did succeed is visible to consumers (the drain guarantee Stop()
+//     relies on).
+//   - size() never undercounts admitted-unconsumed items; DepthRelaxed()
+//     is the advisory lock-free read the scheduler scans.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "runtime/eventcount.h"
+#include "runtime/mpmc_ring.h"
+
 namespace milr::runtime {
 
+enum class QueueKind {
+  kMutex,     ///< mutex + condition_variable deque (the oracle)
+  kLockfree,  ///< Vyukov MPMC ring + eventcount parking (the hot path)
+};
+
+inline const char* QueueKindName(QueueKind kind) {
+  return kind == QueueKind::kMutex ? "mutex" : "lockfree";
+}
+
+/// Process-wide default, latched from MILR_QUEUE on first use:
+/// "mutex" selects the oracle, anything else (or unset) the lock-free
+/// ring. Tests that need a specific kind pass it explicitly instead.
+inline QueueKind DefaultQueueKind() {
+  static const QueueKind kind = [] {
+    const char* env = std::getenv("MILR_QUEUE");
+    if (env != nullptr && std::string_view(env) == "mutex") {
+      return QueueKind::kMutex;
+    }
+    return QueueKind::kLockfree;
+  }();
+  return kind;
+}
+
+namespace detail {
+
+/// The virtual surface both queue kinds implement. Push carries the
+/// admission hook as a plain function pointer + context (a template can't
+/// be virtual); BoundedQueue::PushWith wraps arbitrary callables through
+/// a trampoline.
 template <typename T>
-class BoundedQueue {
+class QueueImpl {
  public:
-  explicit BoundedQueue(std::size_t capacity)
+  using AdmitFn = void (*)(void* ctx, T& item);
+
+  virtual ~QueueImpl() = default;
+  virtual bool Push(T item, AdmitFn on_admit, void* ctx) = 0;
+  virtual bool TryPush(T& item) = 0;
+  virtual std::optional<T> Pop() = 0;
+  virtual std::size_t TryPopBatch(std::vector<T>& out,
+                                  std::size_t max_items,
+                                  std::chrono::microseconds linger) = 0;
+  virtual void Close() = 0;
+  virtual void Reopen() = 0;
+  virtual bool closed() const = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t DepthRelaxed() const = 0;
+  virtual std::size_t capacity() const = 0;
+};
+
+/// The original queue, unchanged in behavior: every operation serializes
+/// on one mutex, so its correctness is a matter of reading each method
+/// once. That simplicity is the point — it is the oracle.
+template <typename T>
+class MutexQueue final : public QueueImpl<T> {
+ public:
+  using AdmitFn = typename QueueImpl<T>::AdmitFn;
+
+  explicit MutexQueue(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  BoundedQueue(const BoundedQueue&) = delete;
-  BoundedQueue& operator=(const BoundedQueue&) = delete;
-
-  /// Blocks while the queue is full. Returns false (and drops `item`) only
-  /// if the queue was closed.
-  bool Push(T item) {
-    return PushWith(std::move(item), [](T&) {});
-  }
-
-  /// Push that invokes `on_admit(item)` at the admission instant — inside
-  /// the lock, after any backpressure wait — so callers can stamp
-  /// admission time without counting the blocked wait as queue residency.
-  template <typename AdmitFn>
-  bool PushWith(T item, AdmitFn on_admit) {
+  bool Push(T item, AdmitFn on_admit, void* ctx) override {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
-    on_admit(item);
+    if (on_admit != nullptr) on_admit(ctx, item);
     items_.push_back(std::move(item));
     PublishDepth();
     not_empty_.notify_one();
     return true;
   }
 
-  /// Non-blocking admission: returns false when full or closed, leaving
-  /// `item` untouched so the caller can shed the load explicitly.
-  bool TryPush(T& item) {
+  bool TryPush(T& item) override {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
@@ -61,9 +134,7 @@ class BoundedQueue {
     return true;
   }
 
-  /// Blocks until an item is available. Returns nullopt once the queue is
-  /// closed *and* drained — consumers finish all admitted work before exit.
-  std::optional<T> Pop() {
+  std::optional<T> Pop() override {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
@@ -74,22 +145,18 @@ class BoundedQueue {
     return item;
   }
 
-  /// Batched pop for the micro-batcher, shaped for shared-pool workers: a
-  /// worker holding a scheduler grant must never sleep on one model's
-  /// empty queue while other models have backlog, so an empty queue
-  /// returns 0 immediately (whether open or closed — closed-with-backlog
-  /// still drains). Otherwise appends up to `max_items` to `out`; when
-  /// the backlog alone cannot fill the batch and `linger` is positive,
-  /// waits up to `linger` for more arrivals before returning — trading a
-  /// bounded slice of latency for fuller batches. A closed queue never
-  /// lingers: shutdown drains in whatever batch sizes the backlog
-  /// provides.
   std::size_t TryPopBatch(std::vector<T>& out, std::size_t max_items,
-                          std::chrono::microseconds linger) {
+                          std::chrono::microseconds linger) override {
     if (max_items == 0) max_items = 1;
     std::unique_lock<std::mutex> lock(mutex_);
     if (items_.empty()) return 0;
     std::size_t taken = 0;
+    // Depth-publish audit (satellite of the lock-free refactor): the
+    // counter republishes after EVERY pop_front below, while the mutex is
+    // held, so the published value always equals the exact deque size at
+    // some instant inside the lock — it can never transiently underflow
+    // past zero or run ahead of the deque the way a detached counter
+    // could. PublishDepth's assert pins the matching upper bound.
     const auto take_available = [&] {
       while (!items_.empty() && taken < max_items) {
         out.push_back(std::move(items_.front()));
@@ -114,53 +181,40 @@ class BoundedQueue {
     return taken;
   }
 
-  /// Stops admission; blocked producers return false, consumers drain the
-  /// remaining items and then see nullopt.
-  void Close() {
+  void Close() override {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  /// Restart support: re-enables admission after Close(). The owner must
-  /// have drained the queue first — reopening over a backlog would revive
-  /// requests whose producers were already told "closed".
-  void Reopen() {
+  void Reopen() override {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = false;
   }
 
-  bool closed() const {
+  bool closed() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
+  std::size_t size() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return items_.size();
   }
 
-  /// Lock-free approximate depth: a relaxed read of a counter every
-  /// mutation republishes under the queue mutex. For ADVISORY consumers
-  /// only — the scheduler's backlog scan reads every co-hosted queue per
-  /// grant, and taking each queue's mutex there serialized the scan
-  /// against all producers as models x workers grew. A scan may see a
-  /// depth one mutation stale; the DRR grant it produces was already
-  /// advisory (the worker's pop re-checks under the real lock), so
-  /// staleness costs at most one wasted visit. Anything that needs an
-  /// exact answer ordered against other state (Drained's queue-empty +
-  /// in-flight reasoning) must keep using size().
-  std::size_t DepthRelaxed() const {
+  std::size_t DepthRelaxed() const override {
     return depth_.load(std::memory_order_relaxed);
   }
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const override { return capacity_; }
 
  private:
   /// Callers hold mutex_, so the counter always republishes the exact
   /// deque size; relaxed suffices because readers tolerate staleness.
   void PublishDepth() {
+    assert(items_.size() <= capacity_ &&
+           "published depth exceeds queue capacity");
     depth_.store(items_.size(), std::memory_order_relaxed);
   }
 
@@ -171,6 +225,391 @@ class BoundedQueue {
   std::deque<T> items_;
   std::atomic<std::size_t> depth_{0};
   bool closed_ = false;
+};
+
+/// The lock-free queue: a Vyukov ring for storage, one packed state word
+/// for admission + close, and two eventcounts for parking. The state
+/// word is the hot-path trick: bits [0,48) hold the logical depth, bits
+/// [48,63) count producers inside admission→publish, bit 63 is the
+/// closed flag — so ONE CAS per push checks closed, checks capacity,
+/// admits and registers, where three separate atomics would cost three
+/// contended RMWs. The invariants each field carries:
+///
+///   depth    Admission happens by a CAS that refuses to move past the
+///            logical capacity, so 0 <= depth <= capacity ALWAYS — no
+///            overshoot-and-correct window a concurrent scan could
+///            observe. An admitted producer owns one unit of depth until
+///            a consumer's decrement. Single pops decrement BETWEEN
+///            moving the value out and freeing the ring slot
+///            (MpmcRing::TryDequeueWith); batch pops free their slots as
+///            they claim and settle the whole batch in one decrement at
+///            the end — deferral only ever OVERcounts, so the depth a
+///            concurrent scan reads still never exceeds capacity and
+///            never undercounts admitted-unconsumed items: size() == 0
+///            means every admitted item has been handed to a consumer.
+///            (An admitted producer's spin on ring space stays bounded:
+///            live units <= capacity <= ring slots, and a slot pending
+///            free is mid-instruction in some consumer.)
+///
+///   pushers  Counts producers inside admission→publish. Close() sets
+///            the closed bit and then spins until the pusher field
+///            drains; because admission and registration are one CAS,
+///            any producer that slips past Close's fetch_or aborts at
+///            its CAS (it sees the closed bit) — so when Close()
+///            returns, every push that will ever succeed has fully
+///            published. That is the drain guarantee: "closed and
+///            size()==0" is a stable terminal state, with no admitted
+///            item still in flight.
+///
+///   eventcounts  not_empty_ parks blocking pops and batch lingers;
+///            not_full_ parks backpressured pushes. Every notify happens
+///            after the condition is visible (ring publish / depth
+///            decrement / closed store), which with the eventcount's
+///            Dekker protocol rules out lost wakeups.
+template <typename T>
+class LockfreeQueue final : public QueueImpl<T> {
+ public:
+  using AdmitFn = typename QueueImpl<T>::AdmitFn;
+
+  explicit LockfreeQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        ring_(capacity == 0 ? 1 : capacity) {}
+
+  bool Push(T item, AdmitFn on_admit, void* ctx) override {
+    for (;;) {
+      const PushResult result = TryPushInternal(item, on_admit, ctx);
+      if (result == PushResult::kPushed) return true;
+      if (result == PushResult::kClosed) return false;
+      // Full: park until a consumer frees depth (or the queue closes).
+      const EventCount::Ticket ticket = not_full_.PrepareWait();
+      const std::uint64_t s = state_.load(std::memory_order_seq_cst);
+      if ((s & kClosedBit) != 0 || (s & kDepthMask) < capacity_) {
+        not_full_.CancelWait();
+        continue;
+      }
+      not_full_.CommitWait(ticket);
+    }
+  }
+
+  bool TryPush(T& item) override {
+    return TryPushInternal(item, nullptr, nullptr) == PushResult::kPushed;
+  }
+
+  std::optional<T> Pop() override {
+    T item;
+    for (;;) {
+      if (TryDequeueInternal(item)) {
+        not_full_.NotifyOne();
+        return item;
+      }
+      std::uint64_t s = state_.load(std::memory_order_seq_cst);
+      if ((s & kClosedBit) != 0 && (s & kDepthMask) == 0) {
+        return std::nullopt;  // closed AND drained
+      }
+      const EventCount::Ticket ticket = not_empty_.PrepareWait();
+      s = state_.load(std::memory_order_seq_cst);
+      if ((s & kClosedBit) != 0 || (s & kDepthMask) != 0) {
+        not_empty_.CancelWait();
+        continue;  // work (or the closed flag) arrived since the try
+      }
+      not_empty_.CommitWait(ticket);
+    }
+  }
+
+  std::size_t TryPopBatch(std::vector<T>& out, std::size_t max_items,
+                          std::chrono::microseconds linger) override {
+    if (max_items == 0) max_items = 1;
+    std::size_t taken = TakeAvailable(out, max_items);
+    // Same contract as the oracle: an empty queue returns 0 immediately
+    // whether open or closed — a granted worker never parks on one
+    // model's empty queue while peers may have backlog.
+    if (taken == 0) return 0;
+    if (taken < max_items && linger.count() > 0 && !closed()) {
+      const auto deadline = std::chrono::steady_clock::now() + linger;
+      for (;;) {
+        if (taken >= max_items) break;
+        if (closed()) {
+          // A closed queue never lingers; scoop what is there and go.
+          taken += TakeAvailable(out, max_items - taken);
+          break;
+        }
+        const EventCount::Ticket ticket = not_empty_.PrepareWait();
+        const std::uint64_t s = state_.load(std::memory_order_seq_cst);
+        if ((s & kClosedBit) != 0 || (s & kDepthMask) != 0) {
+          not_empty_.CancelWait();
+          const std::size_t got = TakeAvailable(out, max_items - taken);
+          taken += got;
+          if (got == 0 &&
+              std::chrono::steady_clock::now() >= deadline) {
+            break;
+          }
+          continue;
+        }
+        if (!not_empty_.CommitWaitUntil(ticket, deadline)) break;
+        taken += TakeAvailable(out, max_items - taken);
+      }
+    }
+    return taken;
+  }
+
+  void Close() override {
+    state_.fetch_or(kClosedBit, std::memory_order_seq_cst);
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
+    // Wait out producers already inside admission→publish: admission and
+    // pusher registration are ONE CAS, so any producer not yet counted
+    // here will see the closed bit at its CAS and abort — there is no
+    // window where a push is admitted but invisible to this spin. Once
+    // the field drains, every successful push is in the ring. Producers
+    // never block inside the counted section, so the spin is bounded by
+    // a few instructions per producer.
+    while ((state_.load(std::memory_order_seq_cst) & kPusherMask) != 0) {
+      CpuRelax();
+    }
+  }
+
+  void Reopen() override {
+    state_.fetch_and(~kClosedBit, std::memory_order_seq_cst);
+  }
+
+  bool closed() const override {
+    return (state_.load(std::memory_order_seq_cst) & kClosedBit) != 0;
+  }
+
+  /// Exact for the "closed and drained?" question the drain loops ask:
+  /// the depth field covers admitted-but-not-yet-ring-published pushes
+  /// too, so size() == 0 on a closed queue means every admitted item was
+  /// handed to a consumer (see the class comment's depth invariant).
+  std::size_t size() const override {
+    return state_.load(std::memory_order_seq_cst) & kDepthMask;
+  }
+
+  std::size_t DepthRelaxed() const override {
+    return state_.load(std::memory_order_relaxed) & kDepthMask;
+  }
+
+  std::size_t capacity() const override { return capacity_; }
+
+ private:
+  enum class PushResult { kPushed, kFull, kClosed };
+
+  // state_ layout — see the class comment for the invariants.
+  static constexpr std::uint64_t kDepthMask = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kPusherUnit = std::uint64_t{1} << 48;
+  static constexpr std::uint64_t kPusherMask =
+      ((std::uint64_t{1} << 15) - 1) << 48;
+  static constexpr std::uint64_t kClosedBit = std::uint64_t{1} << 63;
+
+  PushResult TryPushInternal(T& item, AdmitFn on_admit, void* ctx) {
+    std::uint64_t s = state_.load(std::memory_order_seq_cst);
+    for (;;) {
+      if ((s & kClosedBit) != 0) return PushResult::kClosed;
+      const std::uint64_t depth = s & kDepthMask;
+      assert(depth <= capacity_ && "depth diverged past capacity");
+      if (depth >= capacity_) return PushResult::kFull;
+      assert((s & kPusherMask) != kPusherMask && "pusher field overflow");
+      // One CAS does all of it: fails if the closed bit appeared (we
+      // re-test on the reloaded value), refuses to move depth past the
+      // logical capacity (no overshoot-and-correct window a concurrent
+      // scan could observe), and registers us in the pusher field so
+      // Close()'s drain spin waits for our ring publish.
+      if (state_.compare_exchange_weak(s, s + 1 + kPusherUnit,
+                                       std::memory_order_seq_cst)) {
+        break;
+      }
+    }
+    // Admitted: stamp at the admission instant (after any backpressure,
+    // matching the oracle's inside-the-lock stamp)...
+    if (on_admit != nullptr) on_admit(ctx, item);
+    // ...then claim a ring slot. Admission bounds live claims to
+    // capacity <= ring capacity, so the only way this fails is a slot
+    // whose consumer took the value but has not yet freed the cell —
+    // imminent by construction, so spin.
+    while (!ring_.TryEnqueue(item)) CpuRelax();
+    const std::uint64_t prev =
+        state_.fetch_sub(kPusherUnit, std::memory_order_seq_cst);
+    assert((prev & kPusherMask) != 0 && "pusher field underflow");
+    (void)prev;
+    not_empty_.NotifyOne();
+    return PushResult::kPushed;
+  }
+
+  bool TryDequeueInternal(T& out) {
+    return ring_.TryDequeueWith(out, [this] {
+      // Decrement BETWEEN the value move and the slot free: the logical
+      // count drops first, so admission (bounded by the depth field) can
+      // never outnumber physical slots, and the matched add/sub pairing
+      // means the counter can never underflow — which these asserts pin.
+      const std::uint64_t prev =
+          state_.fetch_sub(1, std::memory_order_seq_cst);
+      assert((prev & kDepthMask) >= 1 &&
+             "depth underflow: pop without matching push");
+      assert((prev & kDepthMask) <= capacity_ &&
+             "depth diverged past capacity");
+      (void)prev;
+    });
+  }
+
+  /// Drains up to `want` immediately-available items into `out`. When the
+  /// ring looks empty but the depth field says items were admitted, a
+  /// producer is between admission and publish — spin briefly for it,
+  /// then give up (the caller's batch was always advisory; the item stays
+  /// counted in size() so no drain loop concludes early).
+  ///
+  /// The depth decrement is DEFERRED to one fetch_sub(taken) at the end:
+  /// between a slot free and the settle, depth only ever OVERcounts, so
+  /// the invariants a concurrent observer relies on survive — depth never
+  /// exceeds capacity (admission got stricter, not looser) and never
+  /// undercounts admitted-unconsumed items ("size()==0 means drained"
+  /// still holds). A producer spinning on ring space during that window
+  /// stays bounded: the slots ARE free, it is only the counter lagging.
+  std::size_t TakeAvailable(std::vector<T>& out, std::size_t want) {
+    std::size_t taken = 0;
+    T item;
+    while (taken < want) {
+      if (ring_.TryDequeueWith(item, [] {})) {
+        out.push_back(std::move(item));
+        ++taken;
+        continue;
+      }
+      // Depth minus what we already hold but have not settled: if no one
+      // ELSE has items in flight, stop — otherwise a producer is between
+      // admission and publish, so spin briefly for it.
+      if ((state_.load(std::memory_order_seq_cst) & kDepthMask) <= taken) {
+        break;
+      }
+      bool got = false;
+      for (int spins = 0; spins < 128 && !got; ++spins) {
+        CpuRelax();
+        got = ring_.TryDequeueWith(item, [] {});
+      }
+      if (!got) break;
+      out.push_back(std::move(item));
+      ++taken;
+    }
+    if (taken > 0) {
+      const std::uint64_t prev =
+          state_.fetch_sub(taken, std::memory_order_seq_cst);
+      assert((prev & kDepthMask) >= taken &&
+             "depth underflow: batch pop without matching pushes");
+      assert((prev & kDepthMask) <= capacity_ &&
+             "depth diverged past capacity");
+      (void)prev;
+      // One notify per batch, not per item. With several units freed at
+      // once, NotifyOne could strand all-but-one parked producer until
+      // the next pop; NotifyAll lets every backpressured pusher re-race
+      // for the freed capacity.
+      if (taken > 1) {
+        not_full_.NotifyAll();
+      } else {
+        not_full_.NotifyOne();
+      }
+    }
+    return taken;
+  }
+
+  const std::size_t capacity_;
+  MpmcRing<T> ring_;
+  /// The packed admission word: depth | pushers | closed (see the class
+  /// comment). Everything the push fast path must check or mutate lives
+  /// in this one cache line.
+  std::atomic<std::uint64_t> state_{0};
+  EventCount not_full_;
+  EventCount not_empty_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity,
+                        QueueKind kind = DefaultQueueKind())
+      : kind_(kind) {
+    if (kind == QueueKind::kMutex) {
+      impl_ = std::make_unique<detail::MutexQueue<T>>(capacity);
+    } else {
+      impl_ = std::make_unique<detail::LockfreeQueue<T>>(capacity);
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (and drops `item`) only
+  /// if the queue was closed.
+  bool Push(T item) { return impl_->Push(std::move(item), nullptr, nullptr); }
+
+  /// Push that invokes `on_admit(item)` at the admission instant — after
+  /// any backpressure wait — so callers can stamp admission time without
+  /// counting the blocked wait as queue residency.
+  template <typename AdmitFn>
+  bool PushWith(T item, AdmitFn on_admit) {
+    // Trampoline: the impl surface is virtual, so the callable crosses it
+    // as a plain function pointer + context.
+    return impl_->Push(
+        std::move(item),
+        [](void* ctx, T& t) { (*static_cast<AdmitFn*>(ctx))(t); },
+        &on_admit);
+  }
+
+  /// Non-blocking admission: returns false when full or closed, leaving
+  /// `item` untouched so the caller can shed the load explicitly.
+  bool TryPush(T& item) { return impl_->TryPush(item); }
+
+  /// Blocks until an item is available. Returns nullopt once the queue is
+  /// closed *and* drained — consumers finish all admitted work before exit.
+  std::optional<T> Pop() { return impl_->Pop(); }
+
+  /// Batched pop for the micro-batcher, shaped for shared-pool workers: a
+  /// worker holding a scheduler grant must never sleep on one model's
+  /// empty queue while other models have backlog, so an empty queue
+  /// returns 0 immediately (whether open or closed — closed-with-backlog
+  /// still drains). Otherwise appends up to `max_items` to `out`; when
+  /// the backlog alone cannot fill the batch and `linger` is positive,
+  /// waits up to `linger` for more arrivals before returning — trading a
+  /// bounded slice of latency for fuller batches. A closed queue never
+  /// lingers: shutdown drains in whatever batch sizes the backlog
+  /// provides.
+  std::size_t TryPopBatch(std::vector<T>& out, std::size_t max_items,
+                          std::chrono::microseconds linger) {
+    return impl_->TryPopBatch(out, max_items, linger);
+  }
+
+  /// Stops admission; blocked producers return false, consumers drain the
+  /// remaining items and then see nullopt. When Close() returns, every
+  /// push that succeeded is visible to consumers and no later push can
+  /// succeed (both kinds guarantee it; the lock-free queue's pusher
+  /// handshake exists for exactly this).
+  void Close() { impl_->Close(); }
+
+  /// Restart support: re-enables admission after Close(). The owner must
+  /// have drained the queue first — reopening over a backlog would revive
+  /// requests whose producers were already told "closed".
+  void Reopen() { impl_->Reopen(); }
+
+  bool closed() const { return impl_->closed(); }
+
+  /// Exact count of admitted-unconsumed items — the read the drain logic
+  /// (ModelRuntime::Drained, shutdown loops) orders against in_flight.
+  std::size_t size() const { return impl_->size(); }
+
+  /// Lock-free approximate depth for ADVISORY consumers only — the
+  /// scheduler's backlog scan reads every co-hosted queue per grant, and
+  /// taking each queue's lock there would serialize the scan against all
+  /// producers. A scan may see a depth one mutation stale; the DRR grant
+  /// it produces was already advisory (the worker's pop re-checks), so
+  /// staleness costs at most one wasted visit. Anything that needs an
+  /// exact answer ordered against other state must use size().
+  std::size_t DepthRelaxed() const { return impl_->DepthRelaxed(); }
+
+  std::size_t capacity() const { return impl_->capacity(); }
+
+  QueueKind kind() const { return kind_; }
+
+ private:
+  QueueKind kind_;
+  std::unique_ptr<detail::QueueImpl<T>> impl_;
 };
 
 }  // namespace milr::runtime

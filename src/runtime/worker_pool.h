@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/eventcount.h"
 #include "support/parallel.h"
 
 namespace milr::runtime {
@@ -102,12 +103,22 @@ class Scheduler {
     double deficit = 0.0;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers in NextWork
+  /// The one way every scheduler scan reads a runtime's backlog — the
+  /// DRR scan, the accrual jump, and HasPendingOther all go through it,
+  /// so both queue kinds face a single contract: the returned depth never
+  /// undercounts admitted-unconsumed work, but may run one mutation stale
+  /// (and, for the lock-free queue, may count a push still between
+  /// admission and ring publish). Either error is benign here — a grant
+  /// is advisory (the worker's pop re-checks) and a skipped entry is
+  /// re-signalled by its producer's NotifyWork.
+  static std::size_t BacklogDepth(const Entry& entry);
+
+  mutable std::mutex mutex_;          // entries_/cursor_/shutdown_/drain state
+  EventCount work_ec_;                // workers park in NextWork (lock-free
+                                      // notify on the Submit hot path)
   std::condition_variable drain_cv_;  // WaitDrained callers
   std::vector<Entry> entries_;
   std::size_t cursor_ = 0;
-  std::uint64_t work_epoch_ = 0;  // bumps on any event workers care about
   bool shutdown_ = false;
 };
 

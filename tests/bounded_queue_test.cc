@@ -1,9 +1,14 @@
-// BoundedQueue edge cases that became load-bearing with the shared worker
-// pool: TryPopBatch racing Close, Reopen after a drain, and the lock-free
-// depth counter's consistency under racing push/pop (the scheduler's
-// backlog scan reads it without the queue mutex). Runs under TSan in CI.
+// BoundedQueue contract tests, parameterized over BOTH implementations
+// (mutex oracle and lock-free ring): every behavior the layers above
+// depend on — TryPopBatch racing Close, Reopen after a drain, linger
+// wake-ups, blocking-push backpressure, racing-PopBatch conservation and
+// the advisory depth counter's bounds — must hold identically for the two
+// kinds, because queue selection is a runtime config knob (MILR_QUEUE).
+// Runs under TSan in CI.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,8 +21,20 @@ namespace {
 
 using namespace std::chrono_literals;
 
-TEST(BoundedQueueTest, TryPopBatchEmptyReturnsImmediatelyOpenOrClosed) {
-  BoundedQueue<int> queue(8);
+class BoundedQueueTest : public ::testing::TestWithParam<QueueKind> {
+ protected:
+  QueueKind kind() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothKinds, BoundedQueueTest,
+    ::testing::Values(QueueKind::kMutex, QueueKind::kLockfree),
+    [](const ::testing::TestParamInfo<QueueKind>& info) {
+      return std::string(QueueKindName(info.param));
+    });
+
+TEST_P(BoundedQueueTest, TryPopBatchEmptyReturnsImmediatelyOpenOrClosed) {
+  BoundedQueue<int> queue(8, kind());
   std::vector<int> out;
   // Open + empty: no linger may be paid (a granted worker must never park
   // on an empty queue).
@@ -28,8 +45,8 @@ TEST(BoundedQueueTest, TryPopBatchEmptyReturnsImmediatelyOpenOrClosed) {
   EXPECT_EQ(queue.TryPopBatch(out, 4, 200ms), 0u);
 }
 
-TEST(BoundedQueueTest, ClosedQueueDrainsBacklogWithoutLinger) {
-  BoundedQueue<int> queue(8);
+TEST_P(BoundedQueueTest, ClosedQueueDrainsBacklogWithoutLinger) {
+  BoundedQueue<int> queue(8, kind());
   for (int i = 0; i < 5; ++i) {
     int v = i;
     ASSERT_TRUE(queue.TryPush(v));
@@ -47,8 +64,8 @@ TEST(BoundedQueueTest, ClosedQueueDrainsBacklogWithoutLinger) {
   for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
 }
 
-TEST(BoundedQueueTest, LingerFillsBatchFromLateArrivals) {
-  BoundedQueue<int> queue(8);
+TEST_P(BoundedQueueTest, LingerFillsBatchFromLateArrivals) {
+  BoundedQueue<int> queue(8, kind());
   int v = 0;
   ASSERT_TRUE(queue.TryPush(v));
   std::thread producer([&] {
@@ -64,8 +81,8 @@ TEST(BoundedQueueTest, LingerFillsBatchFromLateArrivals) {
   producer.join();
 }
 
-TEST(BoundedQueueTest, CloseWakesLingeringConsumer) {
-  BoundedQueue<int> queue(8);
+TEST_P(BoundedQueueTest, CloseWakesLingeringConsumer) {
+  BoundedQueue<int> queue(8, kind());
   int v = 0;
   ASSERT_TRUE(queue.TryPush(v));
   std::thread closer([&] {
@@ -81,8 +98,8 @@ TEST(BoundedQueueTest, CloseWakesLingeringConsumer) {
   closer.join();
 }
 
-TEST(BoundedQueueTest, ReopenAfterDrainRestoresAdmissionAndDepth) {
-  BoundedQueue<int> queue(4);
+TEST_P(BoundedQueueTest, ReopenAfterDrainRestoresAdmissionAndDepth) {
+  BoundedQueue<int> queue(4, kind());
   int v = 1;
   ASSERT_TRUE(queue.TryPush(v));
   queue.Close();
@@ -104,8 +121,8 @@ TEST(BoundedQueueTest, ReopenAfterDrainRestoresAdmissionAndDepth) {
   EXPECT_EQ(queue.DepthRelaxed(), 1u);
 }
 
-TEST(BoundedQueueTest, DepthTracksSizeThroughEveryMutation) {
-  BoundedQueue<int> queue(8);
+TEST_P(BoundedQueueTest, DepthTracksSizeThroughEveryMutation) {
+  BoundedQueue<int> queue(8, kind());
   for (int i = 0; i < 6; ++i) {
     EXPECT_TRUE(queue.Push(i));
     EXPECT_EQ(queue.DepthRelaxed(), queue.size());
@@ -117,12 +134,63 @@ TEST(BoundedQueueTest, DepthTracksSizeThroughEveryMutation) {
   EXPECT_EQ(queue.DepthRelaxed(), 1u);
 }
 
-TEST(BoundedQueueTest, TryPopBatchRacingCloseLosesNoItems) {
+TEST_P(BoundedQueueTest, TryPushShedsAtExactLogicalCapacity) {
+  // The lock-free ring rounds its PHYSICAL capacity to a power of two,
+  // but admission must honor the LOGICAL capacity the caller configured —
+  // the shed point the rejection metrics and the co-hosting memory
+  // budgets are calibrated against.
+  BoundedQueue<int> queue(3, kind());
+  EXPECT_EQ(queue.capacity(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    EXPECT_TRUE(queue.TryPush(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(queue.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // a shed item is left untouched
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST_P(BoundedQueueTest, PushBlocksOnFullUntilPopFrees) {
+  BoundedQueue<int> queue(2, kind());
+  EXPECT_TRUE(queue.Push(0));
+  EXPECT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // must block until the pop below
+    pushed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load(std::memory_order_acquire));
+  auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load(std::memory_order_acquire));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST_P(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1, kind());
+  EXPECT_TRUE(queue.Push(0));
+  std::atomic<bool> bounced{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.Push(1));  // parked on full; Close must bounce it
+    bounced.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(20ms);
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(bounced.load(std::memory_order_acquire));
+  EXPECT_EQ(queue.size(), 1u);  // the original item drains normally
+}
+
+TEST_P(BoundedQueueTest, TryPopBatchRacingCloseLosesNoItems) {
   // Producers block in Push until Close bounces them; consumers drain
   // with TryPopBatch through the closure. Every admitted item must come
   // out exactly once — the Stop() drain guarantee the pool relies on.
   for (int round = 0; round < 20; ++round) {
-    BoundedQueue<int> queue(16);
+    BoundedQueue<int> queue(16, kind());
     std::atomic<int> admitted{0};
     std::atomic<int> popped{0};
     std::vector<std::thread> producers;
@@ -143,7 +211,12 @@ TEST(BoundedQueueTest, TryPopBatchRacingCloseLosesNoItems) {
           const std::size_t n = queue.TryPopBatch(out, 8, 100us);
           popped.fetch_add(static_cast<int>(n),
                            std::memory_order_relaxed);
-          if (n == 0 && queue.closed()) return;  // closed AND drained
+          // Exit only when closed AND drained. The size() term matters
+          // for the lock-free queue: a producer that won admission
+          // against the closing flag may still be publishing its item
+          // into the ring — size() counts it, a bare "n == 0" poll might
+          // miss it and strand the item.
+          if (n == 0 && queue.closed() && queue.size() == 0) return;
           if (n == 0) std::this_thread::yield();
         }
       });
@@ -158,12 +231,88 @@ TEST(BoundedQueueTest, TryPopBatchRacingCloseLosesNoItems) {
   }
 }
 
-TEST(BoundedQueueTest, DepthConsistentUnderRacingPushPop) {
-  BoundedQueue<int> queue(32);
+TEST_P(BoundedQueueTest, RacingPopBatchConsumersShareTheBacklogExactly) {
+  // Several consumers batch-pop one producer stream concurrently: the
+  // union of their batches must be the exact item set (no loss, no
+  // duplication — the ABA case the ring's per-cell sequences exist for),
+  // and each consumer's own stream must be in push order (dequeue order
+  // is FIFO; racing consumers interleave BETWEEN each other but a single
+  // consumer can never see reordered items).
+  constexpr int kItems = 4000;
+  constexpr int kConsumers = 3;
+  BoundedQueue<int> queue(32, kind());
+  std::vector<std::vector<int>> got(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::vector<int> out;
+      for (;;) {
+        out.clear();
+        const std::size_t n = queue.TryPopBatch(out, 7, 50us);
+        got[c].insert(got[c].end(), out.begin(), out.end());
+        if (n == 0 && queue.closed() && queue.size() == 0) return;
+        if (n == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(queue.Push(i));
+  }
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<int> all;
+  for (int c = 0; c < kConsumers; ++c) {
+    // Per-consumer monotonicity: a consumer's batches are drained in
+    // queue order, so its concatenated stream must be increasing.
+    EXPECT_TRUE(std::is_sorted(got[c].begin(), got[c].end()))
+        << "consumer " << c << " saw reordered items";
+    all.insert(all.end(), got[c].begin(), got[c].end());
+  }
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i)
+        << "item lost or duplicated";
+  }
+}
+
+TEST_P(BoundedQueueTest, CloseWhilePoppingHandsOffEveryBlockedConsumer) {
+  // Blocking Pop consumers parked on an empty queue: Close must wake all
+  // of them into the nullopt exit, and items pushed before Close must
+  // each land in exactly one consumer.
+  BoundedQueue<int> queue(8, kind());
+  std::atomic<int> received{0};
+  std::atomic<int> exited{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        received.fetch_add(1, std::memory_order_relaxed);
+      }
+      exited.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(10ms);  // let consumers park
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.Push(i));
+  }
+  std::this_thread::sleep_for(10ms);
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.load(), 3);
+  EXPECT_EQ(exited.load(), 4);
+}
+
+TEST_P(BoundedQueueTest, DepthConsistentUnderRacingPushPop) {
+  BoundedQueue<int> queue(32, kind());
   std::atomic<bool> stop{false};
   // A racing reader hammers the relaxed depth like the scheduler scan
   // does; under TSan this is the no-data-race proof, and the bound check
-  // pins that the counter never drifts past what the deque could hold.
+  // pins that the counter never drifts past the logical capacity — for
+  // the lock-free queue that is the CAS-admission guarantee (no
+  // overshoot-and-correct window), for the mutex queue the under-lock
+  // republish.
   std::thread scanner([&] {
     while (!stop.load(std::memory_order_relaxed)) {
       EXPECT_LE(queue.DepthRelaxed(), queue.capacity());

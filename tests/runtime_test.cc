@@ -721,8 +721,12 @@ TEST(TraceCoverageTest, EveryServedRequestAppearsInTheTrace) {
   EXPECT_GE(CountOccurrences(json, "\"name\": \"dense\""), 1u);
   EXPECT_GE(CountOccurrences(json, "\"name\": \"conv2d\""), 1u);
   EXPECT_GE(CountOccurrences(json, "\"cat\": \"exact\""), 1u);
-  // Worker threads are named in the trace metadata.
-  EXPECT_GE(CountOccurrences(json, "\"worker_0\""), 1u);
+  // Worker threads are named in the trace metadata. A name reaches the
+  // export only for workers that emitted an event, and the eventcount
+  // scheduler's single-waiter grants mean WHICH workers serve a burst is
+  // scheduling-dependent — so assert some worker appears, not a specific
+  // index.
+  EXPECT_GE(CountOccurrences(json, "\"worker_"), 1u);
 }
 
 // ------------------------------------------------------- JSON strictness
