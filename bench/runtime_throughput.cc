@@ -22,9 +22,12 @@
 // for every phase (the production configuration).
 //
 // Knobs: MILR_NET (cifar_large | cifar_small | mnist | dense | dense_xl |
-// tiny; default cifar_large), MILR_BENCH_SECONDS (per phase, default 2),
-// MILR_CLIENTS (client threads, default 2), MILR_WORKERS (engine workers,
-// default 2).
+// conv_xl | tiny; default cifar_large), MILR_BENCH_SECONDS (per phase,
+// default 2), MILR_CLIENTS (client threads, default 2), MILR_WORKERS
+// (engine workers, default 2). conv_xl is the conv analog of dense_xl:
+// ~28 MB of conv filter weights over a tiny spatial extent, the
+// memory-bound sweep where the int8 conv tier's headline ratio is
+// measured (guarded by bench/baseline_conv.json in CI).
 //
 // `--smoke` is the CI mode: tiny net, two batch sizes, sub-second phases —
 // just enough to fail loudly if a kernel or engine regression lands.
@@ -110,6 +113,22 @@ milr::nn::Model BuildServingModel(const char* which) {
     model.AddDense(1536).AddBias().AddReLU();
     model.AddDense(1536).AddBias().AddReLU();
     model.AddDense(1536).AddBias().AddReLU();
+    model.AddDense(10).AddBias();
+    nn::InitHeUniform(model, /*seed=*/11);
+    return model;
+  }
+  if (std::strcmp(which, "conv_xl") == 0) {
+    // The memory-bound CONV sweep: ~28 MB of conv filter weights over a
+    // 6x6 spatial extent, so each im2col GEMM has only 16 (then 4) patch
+    // rows per sample against multi-MB filter panels — per-call time is
+    // dominated by streaming filter bytes, exactly dense_xl's regime but
+    // through the conv int8 path (per-output-filter scales + packed
+    // filter-stationary panels). F²Z = 4608 stays under the int8 depth
+    // guard (quant::kInt8MaxDepth = 8260).
+    nn::Model model(Shape{6, 6, 512});
+    model.AddConv(3, 512, nn::Padding::kValid).AddReLU();   // 6->4, 9.4 MB
+    model.AddConv(3, 1024, nn::Padding::kValid).AddReLU();  // 4->2, 18.9 MB
+    model.AddFlatten();
     model.AddDense(10).AddBias();
     nn::InitHeUniform(model, /*seed=*/11);
     return model;
@@ -360,12 +379,23 @@ RegistryResult RunRegistryVsFixed(milr::nn::Model& model, std::size_t batch,
 // small MLP on the synthetic dataset (the paper's generator) and measures
 // fast/int8 top-1 agreement against exact on held-out samples: the
 // acceptance number for serving *trained* weights from the fast tiers.
+// A small CONV net trains alongside it and additionally measures the
+// int8 tier with the opt-in activation-scale cache ON — the
+// cached-vs-per-row top-1 delta on a conv net is the number the ROADMAP's
+// cached-scales-by-default decision needs (conv patch rows share far more
+// structure than dense rows, so the cached scale's saturation guard is
+// exercised differently here).
 
 struct TrainedAgreementResult {
   std::size_t samples = 0;
   double train_accuracy = 0.0;
   double fast_top1 = 1.0;
   double int8_top1 = 1.0;
+  // Conv-net phase (trained conv net on the same split).
+  double conv_train_accuracy = 0.0;
+  double conv_fast_top1 = 1.0;
+  double conv_int8_top1 = 1.0;
+  double conv_int8_cached_top1 = 1.0;  // activation_scale_cache on
 };
 
 TrainedAgreementResult RunTrainedAgreement(bool smoke) {
@@ -439,6 +469,51 @@ TrainedAgreementResult RunTrainedAgreement(bool smoke) {
               "samples, train acc %.3f): fast %.4f  int8 %.4f\n",
               result.samples, result.train_accuracy, result.fast_top1,
               result.int8_top1);
+
+  // Conv net on the same split: the int8 conv path's trained-checkpoint
+  // acceptance number, measured with per-row activation scales (the
+  // default) and with the cached running scale.
+  nn::Model conv(Shape{spec.image_size, spec.image_size, 1});
+  conv.AddConv(3, 8, nn::Padding::kSame).AddBias().AddReLU();
+  conv.AddMaxPool(2);
+  conv.AddFlatten();
+  conv.AddDense(32).AddBias().AddReLU();
+  conv.AddDense(spec.num_classes).AddBias();
+  nn::InitHeUniform(conv, /*seed=*/13);
+  nn::Fit(conv, train, config);
+  result.conv_train_accuracy = nn::Evaluate(conv, train);
+
+  conv.set_kernel_config(nn::KernelConfig::kExact);
+  const Tensor conv_exact = conv.PredictBatch(batch);
+  conv.set_kernel_config(nn::KernelConfig::kFast);
+  const Tensor conv_fast = conv.PredictBatch(batch);
+  conv.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor conv_int8 = conv.PredictBatch(batch);
+  // Cached-scale pass: warm the running per-layer scale with one batch,
+  // then measure the steady state the cache actually serves.
+  conv.set_activation_scale_caching(true);
+  conv.PredictBatch(batch);
+  const Tensor conv_int8_cached = conv.PredictBatch(batch);
+  conv.set_activation_scale_caching(false);
+  conv.set_kernel_config(nn::KernelConfig::kExact);
+
+  std::size_t cfast = 0, cint8 = 0, ccached = 0;
+  for (std::size_t s = 0; s < test.size(); ++s) {
+    const std::size_t want = top1(conv_exact, s);
+    cfast += (top1(conv_fast, s) == want) ? 1 : 0;
+    cint8 += (top1(conv_int8, s) == want) ? 1 : 0;
+    ccached += (top1(conv_int8_cached, s) == want) ? 1 : 0;
+  }
+  const double denom = static_cast<double>(test.size());
+  result.conv_fast_top1 = static_cast<double>(cfast) / denom;
+  result.conv_int8_top1 = static_cast<double>(cint8) / denom;
+  result.conv_int8_cached_top1 = static_cast<double>(ccached) / denom;
+  std::printf("trained CONV net top-1 agreement vs exact (train acc %.3f): "
+              "fast %.4f  int8 %.4f  int8+cached-scales %.4f "
+              "(cache delta %+.4f)\n",
+              result.conv_train_accuracy, result.conv_fast_top1,
+              result.conv_int8_top1, result.conv_int8_cached_top1,
+              result.conv_int8_cached_top1 - result.conv_int8_top1);
   return result;
 }
 
@@ -948,9 +1023,15 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
   std::fprintf(f,
                "  \"trained_agreement\": {\"samples\": %zu, "
                "\"train_accuracy\": %.6f, \"fast_vs_exact\": %.6f, "
-               "\"int8_vs_exact\": %.6f},\n",
+               "\"int8_vs_exact\": %.6f, "
+               "\"conv_train_accuracy\": %.6f, "
+               "\"conv_fast_vs_exact\": %.6f, "
+               "\"conv_int8_vs_exact\": %.6f, "
+               "\"conv_int8_cached_scales_vs_exact\": %.6f},\n",
                trained.samples, trained.train_accuracy, trained.fast_top1,
-               trained.int8_top1);
+               trained.int8_top1, trained.conv_train_accuracy,
+               trained.conv_fast_top1, trained.conv_int8_top1,
+               trained.conv_int8_cached_top1);
   std::fprintf(f, "  \"phases\": [");
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseRow& row = phases[i];

@@ -54,6 +54,14 @@ DEFAULT_TOLERANCES = {
     # ratio under 1.0 means the refactor is a pessimization right where
     # it is supposed to pay.
     "queue_lockfree_over_mutex_min": 1.0,
+    # Absolute floors for the int8 conv acceptance criteria, enforced only
+    # when a baseline sets them non-zero (the conv_xl baseline does; the
+    # dense baseline leaves them at 0 = disabled). int8_over_fast_min is
+    # checked on the batch-1 model-sweep row — the memory-bound per-call
+    # point the int8 tier exists for; int8_top1_min floors the He-init
+    # top-1 agreement of int8 vs exact.
+    "int8_over_fast_min": 0.0,
+    "int8_top1_min": 0.0,
     # Only used when enforce_absolute is true.
     "qps_rel_pct": 30.0,
     "p99_rel_pct": 75.0,
@@ -116,12 +124,19 @@ def compare(baseline, current):
         if key in base_top1 and key in cur_top1:
             floor = base_top1[key] - tol["top1_pct_points"] / 100.0
             comp.check_min(f"top1_agreement.{key}", cur_top1[key], floor)
+    # Absolute int8 top-1 floor — the quantized tier's hard acceptance
+    # bar (>= 0.99 in the conv_xl baseline), independent of drift in the
+    # baseline's own measurement.
+    if tol["int8_top1_min"] > 0 and "int8_vs_exact" in cur_top1:
+        comp.check_min("top1_agreement.int8_vs_exact (absolute)",
+                       cur_top1["int8_vs_exact"], tol["int8_top1_min"])
 
     # --- trained-net agreement: same floors as the He-init sweep, using
     # the checkpoint actually produced by training in this run.
     base_trained = baseline.get("trained_agreement", {})
     cur_trained = current.get("trained_agreement", {})
-    for key in ("fast_vs_exact", "int8_vs_exact"):
+    for key in ("fast_vs_exact", "int8_vs_exact", "conv_fast_vs_exact",
+                "conv_int8_vs_exact", "conv_int8_cached_scales_vs_exact"):
         if key in base_trained and key in cur_trained:
             floor = base_trained[key] - tol["top1_pct_points"] / 100.0
             comp.check_min(f"trained_agreement.{key}", cur_trained[key],
@@ -151,6 +166,17 @@ def compare(baseline, current):
             comp.check_min(f"model_sweep.{key}", row[key],
                            base[key] * ratio_scale,
                            context=f" (batch={row['batch']})")
+    # Absolute int8-speedup floor at batch 1 — the int8 conv tier's perf
+    # acceptance bar (>= 1.5x over fast fp32 per call in the conv_xl
+    # baseline). Checked against the current run alone so a slow baseline
+    # cannot mask a miss.
+    if tol["int8_over_fast_min"] > 0:
+        for row in current.get("model_sweep", []):
+            if row["batch"] == 1:
+                comp.check_min("model_sweep.int8_over_fast (absolute)",
+                               row["int8_over_fast"],
+                               tol["int8_over_fast_min"],
+                               context=" (batch=1)")
 
     # --- co-hosting: the shared host must stay competitive with split
     # engines on the same core budget.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
@@ -15,6 +18,21 @@
 
 namespace milr::nn {
 
+std::size_t ParsePatchBudgetEnv(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || errno == ERANGE || parsed <= 0) return 0;
+  // Trailing whitespace is harmless shell residue; anything else ("8MB",
+  // "1e6") is a misconfiguration, not a budget.
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return 0;
+    ++end;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 namespace {
 
 std::atomic<std::size_t> g_patch_budget_override{0};
@@ -22,8 +40,14 @@ std::atomic<std::size_t> g_patch_budget_override{0};
 std::size_t DerivedPatchBudgetBytes() {
   static const std::size_t derived = [] {
     if (const char* env = std::getenv("MILR_PATCH_BUDGET")) {
-      const long long parsed = std::strtoll(env, nullptr, 10);
-      if (parsed > 0) return static_cast<std::size_t>(parsed);
+      const std::size_t parsed = ParsePatchBudgetEnv(env);
+      if (parsed > 0) return parsed;
+      // A set-but-invalid budget must fail loudly, not silently serve a
+      // default the operator believes they overrode.
+      std::fprintf(stderr,
+                   "MILR_PATCH_BUDGET='%s' is not a positive byte count; "
+                   "falling back to the cache-derived default\n",
+                   env);
     }
     // Size the materialized patch matrix to the last-level cache: past
     // that, every GEMM pass re-streams it from DRAM and materialization
@@ -80,6 +104,89 @@ void Conv2DLayer::set_kernel_config(KernelConfig config) {
     plan_ = KernelRegistry::Get().PlanFor(PatchLength(), out_channels_);
     has_plan_ = true;
   }
+  // Warm the int8 filter-panel cache on entry instead of on the first
+  // serve, so quantize+pack lands at configuration time (engine
+  // construction) and never inside a latency-sensitive request. A null
+  // return means the F²Z depth guard tripped and this layer will serve
+  // the kFast fp32 fallback (which has no cache to warm — conv's fast
+  // path streams the fp32 filters directly).
+  if (config == KernelConfig::kInt8) Int8FiltersOrNull();
+}
+
+const quant::Int8ServingWeights* Conv2DLayer::Int8FiltersOrNull() const {
+  // Past this patch depth the int32 accumulator could overflow; every
+  // conv shape in the repo (max F²Z well under 8260) passes, but the
+  // guard keeps the tier's exactness contract honest for giant-channel
+  // configurations rather than silently wrong.
+  if (PatchLength() > quant::kInt8MaxDepth) return nullptr;
+  if (!int8_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    if (!int8_valid_.load(std::memory_order_relaxed)) {
+      // (F,F,Z,Y) flat is row-major (F²Z, Y): column j of that matrix is
+      // output filter j, so the per-output-column quantizer yields
+      // per-output-FILTER scales and the packer the (k,16) panels the
+      // int8 micro-kernels stream.
+      int8_filters_ = quant::PrepareInt8ServingWeights(
+          filters_.data(), PatchLength(), out_channels_);
+      int8_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return &int8_filters_;
+}
+
+void Conv2DLayer::ForwardInt8Block(const quant::Int8ServingWeights& qw,
+                                   const float* patches, float* out,
+                                   std::size_t rows) const {
+  // Thread-local like the streamed path's im2col scratch: ParallelFor row
+  // blocks and engine workers quantize their patch rows concurrently
+  // without shared state. Rows are padded to the k-pair stride with
+  // zeros, which the integer kernel's zero B-padding turns into exact
+  // no-ops.
+  const std::size_t plen = PatchLength();
+  const std::size_t astride = quant::Int8PaddedDepth(plen);
+  thread_local std::vector<std::int16_t> aq;
+  thread_local std::vector<float> row_scales;
+  if (aq.size() < rows * astride) aq.resize(rows * astride);
+  if (row_scales.size() < rows) row_scales.resize(rows);
+  const bool cache_scales = act_scale_cache_;
+  float cached_scale = 0.0f;
+  if (cache_scales) {
+    const float maxabs = act_maxabs_.load(std::memory_order_acquire);
+    const float divided =
+        maxabs / static_cast<float>(quant::kActivationQuantMax);
+    if (divided > 0.0f) cached_scale = divided;
+  }
+  float block_maxabs = 0.0f;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int16_t* arow = aq.data() + r * astride;
+    const float* in_row = patches + r * plen;
+    if (cache_scales) {
+      float row_maxabs = 0.0f;
+      if (quant::QuantizeActivationRowWithScale(in_row, plen, cached_scale,
+                                                arow, &row_maxabs)) {
+        row_scales[r] = cached_scale;
+      } else {
+        // Cold cache or saturation guard tripped: quantize with the row's
+        // own scale and let the running maximum widen below.
+        row_scales[r] = quant::QuantizeActivationRow(in_row, plen, arow);
+      }
+      block_maxabs = std::max(block_maxabs, row_maxabs);
+    } else {
+      row_scales[r] = quant::QuantizeActivationRow(in_row, plen, arow);
+    }
+    for (std::size_t p = plen; p < astride; ++p) arow[p] = 0;
+  }
+  if (cache_scales && block_maxabs > 0.0f) {
+    // CAS-max: concurrent row blocks only ever widen the running range.
+    float seen = act_maxabs_.load(std::memory_order_relaxed);
+    while (block_maxabs > seen &&
+           !act_maxabs_.compare_exchange_weak(seen, block_maxabs,
+                                              std::memory_order_acq_rel)) {
+    }
+  }
+  RunInt8Gemm(has_plan_ ? &plan_ : nullptr, aq.data(), astride,
+              row_scales.data(), qw.panels.data(), qw.scales.data(), out,
+              rows, plen, out_channels_);
 }
 
 std::string Conv2DLayer::KernelDescription() const {
@@ -232,13 +339,27 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
   const std::size_t plen = PatchLength();
   const std::size_t sample_rows = g * g;
   const std::size_t rows = batch * sample_rows;
-  const KernelConfig kernel = kernel_config();
+  KernelConfig kernel = kernel_config();
+  // Int8 tier: serve from the cached quantized filter panels. One
+  // requantization per filter mutation (recovery, injection, training),
+  // shared by every row block and concurrent reader — the dense replica's
+  // discipline, with 4x fewer filter bytes streamed per im2col GEMM.
+  // Falls through to kFast when the F²Z depth guard trips.
+  const quant::Int8ServingWeights* qfilters = nullptr;
+  if (kernel == KernelConfig::kInt8) {
+    qfilters = Int8FiltersOrNull();
+    if (qfilters == nullptr) kernel = KernelConfig::kFast;
+  }
   Tensor out(Shape{batch, g, g, out_channels_});
 
   // Whether materialized or streamed, sample s owns rows [s·G², (s+1)·G²)
   // of the logical patch matrix and every output row accumulates over the
   // full, unsplit patch length — so under the exact tier both paths are
   // bit-identical to Forward, and the streamed path merely bounds memory.
+  // The int8 tier (default per-row scales) is likewise bit-identical
+  // across the two paths: each patch row quantizes from its own maxabs
+  // and the integer accumulation is order-independent, so row blocking
+  // cannot move a single bit.
   const std::size_t patch_bytes = rows * plen * sizeof(float);
   if (patch_bytes > PatchMatrixBudgetBytes()) {
     // Streamed row-block path: never materialize the (B·G², F²Z) operand.
@@ -274,6 +395,13 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
       if (kernel == KernelConfig::kExact) {
         GemmAccumulate(kernel, scratch.data(), filters_.data(), cout, count,
                        plen, out_channels_);
+      } else if (qfilters != nullptr) {
+        // Streamed int8: the patch rows just built in scratch quantize to
+        // 12-bit int16 (thread-local, so the fp32+int16 scratch pair stays
+        // within a per-worker share of the budget) and the GEMM streams
+        // the cached packed panels — filters stay stationary in their
+        // int8 form across every chunk.
+        ForwardInt8Block(*qfilters, scratch.data(), cout, count);
       } else {
         RunFastGemm(has_plan_ ? &plan_ : nullptr, scratch.data(),
                     filters_.data(), nullptr, cout, count, plen,
@@ -301,6 +429,9 @@ Tensor Conv2DLayer::ForwardBatch(const Tensor& input) const {
       GemmAccumulate(kernel, patches.data() + begin * plen, filters_.data(),
                      out.data() + begin * out_channels_, count, plen,
                      out_channels_);
+    } else if (qfilters != nullptr) {
+      ForwardInt8Block(*qfilters, patches.data() + begin * plen,
+                       out.data() + begin * out_channels_, count);
     } else {
       RunFastGemm(has_plan_ ? &plan_ : nullptr, patches.data() + begin * plen,
                   filters_.data(), nullptr, out.data() + begin * out_channels_,

@@ -9,10 +9,13 @@
 // BuildPatchMatrix / ScatterPatchesToInput are public for exactly that use.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <span>
 
 #include "nn/kernel_registry.h"
 #include "nn/layer.h"
+#include "quant/gemm_int8.h"
 
 namespace milr::nn {
 
@@ -27,6 +30,13 @@ std::size_t PatchMatrixBudgetBytes();
 
 /// Test/operator override for the budget; 0 restores the derived default.
 void SetPatchMatrixBudgetBytes(std::size_t bytes);
+
+/// Parses a MILR_PATCH_BUDGET value: the byte count for a strictly
+/// positive integer with no trailing garbage, else 0 (invalid — the
+/// caller falls back to the cache-derived default and warns). Exposed so
+/// tests can pin the accept/reject behavior without touching the
+/// environment.
+std::size_t ParsePatchBudgetEnv(const char* text);
 
 class Conv2DLayer final : public Layer {
  public:
@@ -51,15 +61,43 @@ class Conv2DLayer final : public Layer {
   Tensor ForwardBatch(const Tensor& input) const override;
   Tensor Backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                   std::span<float> dparams) const override;
-  std::span<float> Params() override { return filters_.flat(); }
+  /// The mutable span is the fault domain: every writer (fault injectors,
+  /// MILR recovery, training, deserialization, Model::RestoreParams) goes
+  /// through it, so handing it out invalidates the derived int8 filter
+  /// panels — the next int8 ForwardBatch requantizes once from the
+  /// (possibly recovered) fp32 master, exactly the DenseLayer discipline.
+  std::span<float> Params() override {
+    InvalidateInt8Filters();
+    return filters_.flat();
+  }
   std::span<const float> Params() const override { return filters_.flat(); }
 
   /// Non-exact tiers attach the registry's plan for the im2col GEMM shape
-  /// (F²Z, Y); the batched row-block GEMMs then dispatch through it.
+  /// (F²Z, Y); the batched row-block GEMMs then dispatch through it. The
+  /// int8 tier additionally quantizes + packs the filter panels here, at
+  /// configuration time, so the cost never lands inside a request (when
+  /// the F²Z depth guard trips, int8 serves the kFast fallback instead).
   void set_kernel_config(KernelConfig config) override;
 
   /// Tier name plus the registry plan when one is attached.
   std::string KernelDescription() const override;
+
+  /// Opt-in (default off): reuse a running per-layer activation scale on
+  /// the int8 path instead of re-deriving one per im2col patch row,
+  /// falling back — and widening the cache — whenever a row's max-abs
+  /// would saturate the cached range. Changes served bits relative to
+  /// per-row scales, so the int8 tier's bit-stability contract only
+  /// covers the default-off mode. Invalidates with the filter panels on
+  /// Params()/filters().
+  void set_activation_scale_caching(bool enabled) {
+    act_scale_cache_ = enabled;
+    act_maxabs_.store(0.0f, std::memory_order_release);
+  }
+  bool activation_scale_caching() const { return act_scale_cache_; }
+  /// Current running activation max-abs (0 until a row was observed).
+  float cached_activation_maxabs() const {
+    return act_maxabs_.load(std::memory_order_acquire);
+  }
 
   /// Registry plan attached by set_kernel_config (tests/telemetry).
   bool has_plan() const { return has_plan_; }
@@ -77,7 +115,16 @@ class Conv2DLayer final : public Layer {
   std::size_t OutputExtent(std::size_t input_extent) const;
 
   const Tensor& filters() const { return filters_; }
-  Tensor& filters() { return filters_; }
+  Tensor& filters() {
+    InvalidateInt8Filters();
+    return filters_;
+  }
+
+  /// True while the int8 quantized filter-panel cache matches filters_
+  /// (the requantization tests pin the invalidate-on-mutate contract).
+  bool int8_filters_valid() const {
+    return int8_valid_.load(std::memory_order_acquire);
+  }
 
   /// Patch-matrix length F²Z — the number of unknowns per filter.
   std::size_t PatchLength() const {
@@ -112,6 +159,29 @@ class Conv2DLayer final : public Layer {
                       std::size_t row_begin, std::size_t row_count,
                       float* dst) const;
 
+  /// Lazily requantizes + packs the filter panels from the fp32 master
+  /// under pack_mutex_ (DenseLayer's memory-ordering discipline: valid_
+  /// only transitions false->true here; true->false happens on the
+  /// mutation paths, which serving already runs under the model's
+  /// exclusive lock). Returns nullptr when F²Z exceeds the int32
+  /// accumulator's exact range (quant::kInt8MaxDepth) — callers then
+  /// serve the kFast fp32 fallback.
+  const quant::Int8ServingWeights* Int8FiltersOrNull() const;
+
+  /// One int8 row block of the im2col GEMM: quantize `rows` patch rows
+  /// (length F²Z, thread-local int16 scratch, 12-bit per-row scales) and
+  /// run the packed filter-stationary int8 GEMM + dequantizing epilogue.
+  void ForwardInt8Block(const quant::Int8ServingWeights& qw,
+                        const float* patches, float* out,
+                        std::size_t rows) const;
+
+  void InvalidateInt8Filters() {
+    int8_valid_.store(false, std::memory_order_release);
+    // Mutated filters mean a new activation distribution downstream; the
+    // running scale restarts from the first post-mutation row.
+    act_maxabs_.store(0.0f, std::memory_order_release);
+  }
+
   std::size_t filter_size_;
   std::size_t in_channels_;
   std::size_t out_channels_;
@@ -120,6 +190,15 @@ class Conv2DLayer final : public Layer {
 
   GemmPlan plan_;          // registry decision for (F²Z, Y); valid iff
   bool has_plan_ = false;  // has_plan_
+  bool act_scale_cache_ = false;
+  mutable std::atomic<float> act_maxabs_{0.0f};  // running finite max-abs
+
+  // Derived int8 replica of the filters: (F,F,Z,Y) flat IS row-major
+  // (F²Z, Y), so the dense per-output-column quantizer gives exactly the
+  // per-output-FILTER scales and the packer the filter-stationary panels.
+  mutable std::mutex pack_mutex_;
+  mutable quant::Int8ServingWeights int8_filters_;
+  mutable std::atomic<bool> int8_valid_{false};
 };
 
 }  // namespace milr::nn

@@ -13,15 +13,19 @@
 //    bit-exact reproducibility for single-core throughput in the
 //    compute-bound regime.
 //  * kInt8 — quantized serving tier (src/quant/): dense layers serve from
-//    a symmetric per-output-channel int8 replica of their weights with an
-//    int32-accumulating GEMM and a dequantizing epilogue. Results agree
-//    with kExact only to quantization tolerance (top-1 agreement is the
-//    practical acceptance metric), but are bit-stable across dispatch and
-//    threading. Opt-in for the MEMORY-BOUND regime — weight sets larger
-//    than L2, where micro-batch GEMMs are bound on streaming weight bytes
-//    and int8 streams 4x fewer of them. Layers without an int8 kernel
-//    (conv's im2col GEMM, for now) serve the kFast fp32 path under this
-//    setting, so a model is never slower than kFast for choosing kInt8.
+//    a symmetric per-output-channel int8 replica of their weights, conv
+//    layers from a per-output-filter int8 replica of their (F²Z, Y)
+//    filter panels fed by 12-bit-quantized im2col patch rows — both with
+//    an int32-accumulating GEMM and a dequantizing epilogue. Results
+//    agree with kExact only to quantization tolerance (top-1 agreement is
+//    the practical acceptance metric), but are bit-stable across
+//    dispatch and threading. Opt-in for the MEMORY-BOUND regime — weight
+//    sets larger than L2, where micro-batch GEMMs are bound on streaming
+//    weight bytes and int8 streams 4x fewer of them. A layer whose depth
+//    exceeds the int32 accumulator's exact range (quant::kInt8MaxDepth —
+//    dense in_features or conv F²Z past 8260) serves the kFast fp32 path
+//    under this setting, so a model is never slower than kFast for
+//    choosing kInt8.
 //
 // The choice rides the batched serving path only (Layer::ForwardBatch,
 // Model::PredictBatch, and therefore the engine): MILR's init / detect /

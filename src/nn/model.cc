@@ -15,6 +15,8 @@ Model& Model::Add(std::unique_ptr<Layer> layer) {
   layer->set_kernel_config(kernel_config_);
   if (auto* dense = dynamic_cast<DenseLayer*>(layer.get())) {
     dense->set_activation_scale_caching(act_scale_cache_);
+  } else if (auto* conv = dynamic_cast<Conv2DLayer*>(layer.get())) {
+    conv->set_activation_scale_caching(act_scale_cache_);
   }
   layers_.push_back(std::move(layer));
   shapes_.push_back(out);
@@ -32,6 +34,8 @@ void Model::set_activation_scale_caching(bool enabled) {
   for (const auto& layer : layers_) {
     if (auto* dense = dynamic_cast<DenseLayer*>(layer.get())) {
       dense->set_activation_scale_caching(enabled);
+    } else if (auto* conv = dynamic_cast<Conv2DLayer*>(layer.get())) {
+      conv->set_activation_scale_caching(enabled);
     }
   }
 }

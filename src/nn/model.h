@@ -47,8 +47,8 @@ class Model {
   /// layer, including layers added later. kExact (the default) keeps
   /// PredictBatch bit-identical to per-sample Predict under the reference
   /// kernels; kFast serves from the packed k-blocked kernels and is only
-  /// tolerance-equivalent; kInt8 serves dense layers from a quantized
-  /// int8 weight replica (see nn/kernel_config.h). MILR
+  /// tolerance-equivalent; kInt8 serves dense AND conv layers from
+  /// quantized int8 weight/filter replicas (see nn/kernel_config.h). MILR
   /// init/detect/recover always run exact (they use the per-sample
   /// Layer::Forward entry points), so protection semantics do not depend
   /// on this setting. Not thread-safe against in-flight predictions —
@@ -56,9 +56,10 @@ class Model {
   void set_kernel_config(KernelConfig config);
   KernelConfig kernel_config() const { return kernel_config_; }
 
-  /// Opt-in int8 activation-scale caching (see DenseLayer); propagated to
-  /// every dense layer, including layers added later. Default off — the
-  /// int8 tier's bit-stability contract only covers the default.
+  /// Opt-in int8 activation-scale caching (see DenseLayer/Conv2DLayer);
+  /// propagated to every dense and conv layer, including layers added
+  /// later. Default off — the int8 tier's bit-stability contract only
+  /// covers the default.
   void set_activation_scale_caching(bool enabled);
   bool activation_scale_caching() const { return act_scale_cache_; }
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "memory/fault_injector.h"
+#include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/init.h"
 #include "nn/model.h"
@@ -152,6 +153,145 @@ TEST(QuantServingTest, HostCoHostsAllThreeKernelTiers) {
 
   // int8 oracle: an identical, freshly quantized standalone model.
   nn::Model int8_oracle = DenseModel();
+  int8_oracle.set_kernel_config(nn::KernelConfig::kInt8);
+
+  for (std::size_t s = 0; s < probes.size(); ++s) {
+    const Tensor exact_got = exact_handle->Predict(probes[s]);
+    const Tensor fast_got = fast_handle->Predict(probes[s]);
+    const Tensor int8_got = int8_handle->Predict(probes[s]);
+    const Tensor int8_want = int8_oracle.Predict(probes[s]);
+    for (std::size_t i = 0; i < exact_want[s].size(); ++i) {
+      EXPECT_EQ(exact_got[i], exact_want[s][i]) << "exact s=" << s;
+      EXPECT_NEAR(fast_got[i], exact_want[s][i], 1e-4f) << "fast s=" << s;
+      EXPECT_EQ(int8_got[i], int8_want[i]) << "int8 s=" << s;
+      EXPECT_NEAR(int8_got[i], exact_want[s][i], 5e-2f) << "int8 s=" << s;
+    }
+  }
+  host.Stop();
+}
+
+/// Conv-led topology sized for FULL MILR recoverability of the conv
+/// layer: kValid 3x3 over 8x8x2 gives G² = 36 ≥ F²Z = 18, so parameter
+/// solving can reconstruct every filter from golden patches. Layer 0 is
+/// the Conv2DLayer whose packed int8 filter panels the test observes.
+nn::Model ConvModel() {
+  nn::Model model(Shape{8, 8, 2});
+  model.AddConv(3, 4, nn::Padding::kValid).AddBias().AddReLU();
+  model.AddFlatten();
+  model.AddDense(10).AddBias();
+  nn::InitHeUniform(model, /*seed=*/19);
+  return model;
+}
+
+TEST(QuantServingTest, MilrRecoveryRebuildsConvInt8PanelsFromMaster) {
+  // The dense recovery story, replayed against the conv tier: a live
+  // fault lands in the conv FILTERS, MILR repairs the fp32 master, and
+  // the filter-stationary int8 panels must be rebuilt from exactly the
+  // recovered filters (bit-equality against a freshly quantized copy).
+  nn::Model model = ConvModel();
+  const auto probes = Probes(model, 4);
+
+  EngineConfig config;
+  config.scrubber_enabled = false;  // scrub synchronously, deterministic
+  config.worker_threads = 2;
+  config.kernel = nn::KernelConfig::kInt8;
+  InferenceEngine engine(model, config);
+  engine.Start();
+
+  const auto* conv = dynamic_cast<const nn::Conv2DLayer*>(&model.layer(0));
+  ASSERT_NE(conv, nullptr);
+  // Engine construction applied the tier and warmed the packed panels.
+  ASSERT_TRUE(conv->int8_filters_valid());
+
+  std::vector<Tensor> clean;
+  for (const auto& probe : probes) clean.push_back(engine.Predict(probe));
+
+  // Live fault into the conv filters through the mutable Params() span —
+  // which must invalidate the quantized filter panels.
+  Prng prng(17);
+  const auto injection = engine.InjectFault([&](nn::Model& live) {
+    return memory::CorruptWholeLayer(live, 0, prng);
+  });
+  ASSERT_GT(injection.corrupted_weights, 0u);
+  EXPECT_FALSE(conv->int8_filters_valid());
+
+  // Serving from the corrupted master requantizes ONCE (the replica is a
+  // faithful cache of the master, not a mask) and the outputs move.
+  const Tensor corrupted = engine.Predict(probes[0]);
+  EXPECT_TRUE(conv->int8_filters_valid());
+  bool moved = false;
+  for (std::size_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted[i] != clean[0][i]) moved = true;
+  }
+  EXPECT_TRUE(moved) << "whole-layer corruption did not change outputs";
+
+  // Online MILR recovery repairs the fp32 filters; the panels quantized
+  // from the corrupted epoch must be gone.
+  const auto report = engine.ScrubNow();
+  ASSERT_GE(report.flagged_layers, 1u);
+  ASSERT_GE(report.recovered_layers, 1u);
+  ASSERT_TRUE(report.recovery_ok);
+  EXPECT_FALSE(conv->int8_filters_valid());
+
+  std::vector<Tensor> served;
+  for (const auto& probe : probes) served.push_back(engine.Predict(probe));
+  EXPECT_TRUE(conv->int8_filters_valid());
+
+  // Bit-for-bit proof that the served panels came from the RECOVERED
+  // master: a fresh model restored to it and freshly quantized must
+  // reproduce the served outputs exactly (the int8 tier is deterministic
+  // across dispatch, threading, and row blocking).
+  std::vector<std::vector<float>> recovered;
+  engine.WithModelExclusive(
+      [&](nn::Model& live) { recovered = live.SnapshotParams(); });
+  nn::Model fresh = ConvModel();
+  fresh.RestoreParams(recovered);
+  fresh.set_kernel_config(nn::KernelConfig::kInt8);
+  for (std::size_t s = 0; s < probes.size(); ++s) {
+    const Tensor want = fresh.Predict(probes[s]);
+    ASSERT_EQ(want.size(), served[s].size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(served[s][i], want[i]) << "probe " << s << " output " << i;
+    }
+  }
+
+  // And recovery really repaired the filters: int8 serving agrees with
+  // the clean epoch again to quantization tolerance.
+  for (std::size_t i = 0; i < served[0].size(); ++i) {
+    EXPECT_NEAR(served[0][i], clean[0][i], 5e-2f);
+  }
+  engine.Stop();
+}
+
+TEST(QuantServingTest, HostCoHostsConvModelsAcrossAllThreeTiers) {
+  // Conv twin of the dense co-hosting test: one shared pool serving the
+  // same conv net at exact, fast and int8, each tier checked against its
+  // own oracle — the int8 tier against a freshly quantized standalone
+  // model, bit-for-bit.
+  nn::Model exact_model = ConvModel();
+  nn::Model fast_model = ConvModel();
+  nn::Model int8_model = ConvModel();
+  const auto probes = Probes(exact_model, 6);
+
+  std::vector<Tensor> exact_want;
+  for (const auto& probe : probes) {
+    exact_want.push_back(exact_model.Predict(probe));
+  }
+
+  ServingHostConfig host_config;
+  host_config.worker_threads = 3;
+  host_config.scrub_period = std::chrono::milliseconds(10);
+  ServingHost host(host_config);
+  ModelRuntimeConfig exact_cfg, fast_cfg, int8_cfg;
+  exact_cfg.kernel = nn::KernelConfig::kExact;
+  fast_cfg.kernel = nn::KernelConfig::kFast;
+  int8_cfg.kernel = nn::KernelConfig::kInt8;
+  auto exact_handle = host.AddModel(exact_model, exact_cfg, "conv_exact");
+  auto fast_handle = host.AddModel(fast_model, fast_cfg, "conv_fast");
+  auto int8_handle = host.AddModel(int8_model, int8_cfg, "conv_int8");
+  host.Start();
+
+  nn::Model int8_oracle = ConvModel();
   int8_oracle.set_kernel_config(nn::KernelConfig::kInt8);
 
   for (std::size_t s = 0; s < probes.size(); ++s) {

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/init.h"
 #include "nn/model.h"
@@ -374,6 +375,227 @@ TEST(DenseInt8, DeterministicAcrossBatchSplits) {
       EXPECT_EQ(single[j], all[s * 32 + j]) << "s=" << s << " j=" << j;
     }
   }
+}
+
+// -------------------------------------------------- Conv2DLayer int8 tier
+
+/// Random filters through Params() — the same fault-domain span every
+/// other writer uses. (Conv2DLayer owns a mutex, so no factory-by-value.)
+void FillConv(nn::Conv2DLayer& layer, Prng& prng) {
+  for (float& v : layer.Params()) v = prng.NextFloat(-1.0f, 1.0f);
+}
+
+/// The conv int8 oracle: per sample, im2col the input with the layer's own
+/// BuildPatchMatrix, quantize each patch row exactly like the serving path
+/// (12-bit per-row scales, padded int16 depth), and run the generic int8
+/// GEMM against freshly quantized+packed filters. The serving path must
+/// reproduce this BIT-FOR-BIT: integer accumulation is order-independent,
+/// the epilogue is one expression, and dispatch (AVX2/VNNI/generic) is
+/// bit-invariant by contract.
+Tensor ConvInt8Oracle(const nn::Conv2DLayer& layer, const Tensor& batch) {
+  const std::size_t b = batch.shape()[0];
+  const std::size_t m_ext = batch.shape()[1];
+  const std::size_t g = layer.OutputExtent(m_ext);
+  const std::size_t plen = layer.PatchLength();
+  const std::size_t y = layer.out_channels();
+  const std::size_t astride = Int8PaddedDepth(plen);
+  const std::size_t sample = m_ext * m_ext * layer.in_channels();
+
+  const QuantizedWeights qw =
+      QuantizeWeights(layer.filters().data(), plen, y);
+  std::vector<std::int8_t> bpack(PackedInt8BSize(plen, y));
+  PackInt8BPanels(qw.values.data(), plen, y, bpack.data());
+
+  Tensor out(Shape{b, g, g, y});
+  for (std::size_t s = 0; s < b; ++s) {
+    Tensor one(Shape{m_ext, m_ext, layer.in_channels()});
+    std::copy_n(batch.data() + s * sample, sample, one.data());
+    const Tensor patches = layer.BuildPatchMatrix(one);
+    const std::size_t rows = g * g;
+    std::vector<std::int16_t> aq(rows * astride, 0);
+    std::vector<float> row_scales(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      row_scales[r] = QuantizeActivationRow(patches.data() + r * plen,
+                                            plen, aq.data() + r * astride);
+    }
+    GemmInt8DequantGeneric(aq.data(), astride, row_scales.data(),
+                           bpack.data(), qw.scales.data(),
+                           out.data() + s * rows * y, rows, plen, y);
+  }
+  return out;
+}
+
+TEST(ConvInt8, ForwardBatchMatchesDequantOracleBitExact) {
+  Prng prng(41);
+  // Edge cases by construction: kSame padding (zero patch cells), out
+  // channels off the 16-wide panel (5, 17, 7), F=1 pointwise conv, and a
+  // G=1 output (kValid with M == F) where one patch row IS the input.
+  const struct {
+    std::size_t f, z, y, m, b;
+    nn::Padding pad;
+  } cases[] = {
+      {3, 3, 5, 6, 2, nn::Padding::kValid},
+      {3, 2, 17, 5, 3, nn::Padding::kSame},
+      {1, 5, 7, 4, 2, nn::Padding::kValid},
+      {3, 4, 16, 3, 1, nn::Padding::kValid},
+  };
+  for (const auto& c : cases) {
+    nn::Conv2DLayer layer(c.f, c.z, c.y, c.pad);
+    FillConv(layer, prng);
+    layer.set_kernel_config(nn::KernelConfig::kInt8);
+    ASSERT_TRUE(layer.int8_filters_valid())
+        << "f=" << c.f << " z=" << c.z << " y=" << c.y;
+    Tensor batch(Shape{c.b, c.m, c.m, c.z});
+    for (auto& v : batch.flat()) v = prng.NextFloat(-2.0f, 2.0f);
+    const Tensor got = layer.ForwardBatch(batch);
+    const Tensor want = ConvInt8Oracle(layer, batch);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i])
+          << "f=" << c.f << " z=" << c.z << " y=" << c.y << " m=" << c.m
+          << " pad=" << (c.pad == nn::Padding::kSame ? "same" : "valid")
+          << " i=" << i;
+    }
+  }
+}
+
+TEST(ConvInt8, ForwardBatchMatchesExactWithinQuantTolerance) {
+  // Sanity on the actual numbers (the oracle test would pass even if both
+  // sides shared a scale bug): int8 conv output stays within quantization
+  // distance of the exact fp32 tier.
+  Prng prng(43);
+  nn::Conv2DLayer layer(3, 4, 12, nn::Padding::kSame);
+  FillConv(layer, prng);
+  Tensor batch(Shape{2, 8, 8, 4});
+  for (auto& v : batch.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+  const Tensor want = layer.ForwardBatch(batch);
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor got = layer.ForwardBatch(batch);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 5e-2f) << "i=" << i;
+  }
+}
+
+TEST(ConvInt8, PerSampleForwardStaysExactUnderInt8Config) {
+  Prng prng(47);
+  nn::Conv2DLayer layer(3, 2, 6, nn::Padding::kValid);
+  FillConv(layer, prng);
+  Tensor x(Shape{5, 5, 2});
+  for (auto& v : x.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+  const Tensor exact = layer.Forward(x);
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor still_exact = layer.Forward(x);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    // MILR's init/detect/recover contract holds for conv too: per-sample
+    // Forward is bit-identical no matter the serving tier.
+    EXPECT_EQ(exact[i], still_exact[i]);
+  }
+}
+
+TEST(ConvInt8, MutationInvalidatesAndRequantizes) {
+  Prng prng(53);
+  nn::Conv2DLayer layer(3, 2, 8, nn::Padding::kValid);
+  FillConv(layer, prng);
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  ASSERT_TRUE(layer.int8_filters_valid());
+
+  Tensor x(Shape{2, 5, 5, 2});
+  for (auto& v : x.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+  const Tensor before = layer.ForwardBatch(x);
+
+  // Mutate through the fault-domain span: the packed panels must
+  // invalidate and the next serve must requantize from the new filters.
+  layer.Params()[0] += 2.0f;
+  EXPECT_FALSE(layer.int8_filters_valid());
+  const Tensor after = layer.ForwardBatch(x);
+  EXPECT_TRUE(layer.int8_filters_valid());
+  EXPECT_NE(before[0], after[0]);
+
+  // And the mutable filters() accessor invalidates too.
+  layer.filters();
+  EXPECT_FALSE(layer.int8_filters_valid());
+}
+
+TEST(ConvInt8, StreamedAndMaterializedPathsAreBitIdentical) {
+  // A 1-byte budget forces per-row-block streaming; 0 restores the
+  // derived default (materialized here — the operand is tiny). Per-row
+  // activation scales depend only on the row and integer accumulation is
+  // order-independent, so the streamed GEMM must reproduce the
+  // materialized bits exactly.
+  Prng prng(59);
+  nn::Conv2DLayer layer(3, 3, 10, nn::Padding::kSame);
+  FillConv(layer, prng);
+  layer.set_kernel_config(nn::KernelConfig::kInt8);
+  Tensor batch(Shape{4, 7, 7, 3});
+  for (auto& v : batch.flat()) v = prng.NextFloat(-2.0f, 2.0f);
+
+  nn::SetPatchMatrixBudgetBytes(1);
+  const Tensor streamed = layer.ForwardBatch(batch);
+  nn::SetPatchMatrixBudgetBytes(0);
+  const Tensor materialized = layer.ForwardBatch(batch);
+  ASSERT_EQ(streamed.size(), materialized.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], materialized[i]) << "i=" << i;
+  }
+}
+
+TEST(ConvInt8, TopOneAgreementOnConvNet) {
+  // End-to-end acceptance proxy for the conv tier, mirroring the dense
+  // MLP check: He-init conv net, random probes, int8 top-1 vs exact.
+  using namespace milr;
+  nn::Model model(Shape{10, 10, 3});
+  model.AddConv(3, 24, nn::Padding::kSame).AddBias().AddReLU();
+  model.AddMaxPool(2);
+  model.AddFlatten();
+  model.AddDense(10).AddBias();
+  nn::InitHeUniform(model, /*seed=*/17);
+
+  Prng prng(61);
+  const std::size_t samples = 200;
+  Tensor batch(Shape{samples, 10, 10, 3});
+  for (auto& v : batch.flat()) v = prng.NextFloat(-1.0f, 1.0f);
+
+  model.set_kernel_config(nn::KernelConfig::kExact);
+  const Tensor exact = model.PredictBatch(batch);
+  model.set_kernel_config(nn::KernelConfig::kInt8);
+  const Tensor int8 = model.PredictBatch(batch);
+
+  std::size_t agree = 0;
+  const std::size_t classes = 10;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const float* e = exact.data() + s * classes;
+    const float* q = int8.data() + s * classes;
+    const std::size_t ce = std::max_element(e, e + classes) - e;
+    const std::size_t cq = std::max_element(q, q + classes) - q;
+    agree += (ce == cq) ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(agree) / samples, 0.99)
+      << agree << "/" << samples << " top-1 agreement";
+  model.set_kernel_config(nn::KernelConfig::kExact);
+}
+
+// --------------------------------------------- MILR_PATCH_BUDGET parsing
+
+TEST(ParsePatchBudgetEnv, AcceptsPositiveByteCounts) {
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("1"), 1u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("8388608"), 8388608u);
+  // Leading whitespace and a trailing newline (common in shell exports)
+  // are fine; the digits still parse unambiguously.
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("  4096"), 4096u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("4096\n"), 4096u);
+}
+
+TEST(ParsePatchBudgetEnv, RejectsZeroNegativeAndGarbage) {
+  // 0 is the sentinel for "invalid, use the derived default" — a zero
+  // budget would force 1-row streaming forever, so it is rejected too.
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("0"), 0u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("-4096"), 0u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("banana"), 0u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("4096MB"), 0u);  // trailing garbage
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("40 96"), 0u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv(""), 0u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv(nullptr), 0u);
+  EXPECT_EQ(nn::ParsePatchBudgetEnv("999999999999999999999999"), 0u);
 }
 
 TEST(DenseInt8, TopOneAgreementOnServingNet) {
