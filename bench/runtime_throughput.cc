@@ -36,6 +36,7 @@
 // machine-readable artifact.
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +51,8 @@
 
 #include "apps/networks.h"
 #include "data/synthetic.h"
+#include "memory/fault_injector.h"
+#include "obs/histogram.h"
 #include "nn/init.h"
 #include "nn/kernel_config.h"
 #include "nn/kernel_registry.h"
@@ -939,6 +942,182 @@ TracingOverheadResult RunTracingOverhead(
   return result;
 }
 
+// --------------------------------------------------------------- SLO phase
+//
+// The observability acceptance phase: one engine run with a latency SLO
+// declared, the validation oracle on, and an incident drill at the end.
+// It produces three numbers CI guards:
+//   * goodput under a generous objective (healthy serving must stay ~1.0);
+//   * the histogram-vs-sorted-oracle p99 relative error — the lock-free
+//     histogram now owns the latency percentiles, and this phase checks
+//     its answer against the retained exact-window oracle on real serving
+//     latencies (bucket quantization bounds it at kMaxRelativeError;
+//     interpolation-rule differences add a little on top);
+//   * the incident drill: a whole-layer fault + on-demand scrub must open
+//     exactly one quarantine incident, close it recovered, and (with the
+//     flight recorder on) auto-capture a Chrome trace. The journal JSON
+//     and the trace directory are written as CI artifacts.
+// The load is a fixed request COUNT (not a timed window) kept under the
+// oracle's 16K ring, so the histogram and the oracle see the identical
+// sample set and the comparison is apples-to-apples.
+//
+// The objective is CALIBRATED, not hard-coded: a short unconstrained
+// warmup measures this net-on-this-machine's p99, and the SLO phase runs
+// with objective = 5x that (floored at 50 ms). Healthy serving therefore
+// lands goodput ~1.0 on any host — the goodput floor guards the SLO
+// pipeline itself (and catastrophic latency regressions), not the
+// machine's absolute speed, matching the comparator's
+// machine-independent philosophy.
+
+struct SloPhaseResult {
+  double objective_ms = 0.0;
+  double target = 0.0;
+  unsigned long long within = 0;
+  unsigned long long violations = 0;
+  double goodput = 1.0;
+  double fast_burn_rate = 0.0;
+  double slow_burn_rate = 0.0;
+  double hist_p99_ms = 0.0;
+  double oracle_p99_ms = 0.0;
+  double hist_p99_rel_err = 0.0;
+  unsigned long long incidents_opened = 0;
+  unsigned long long incidents_open = 0;
+  bool incident_recovered = false;
+  bool trace_captured = false;
+  unsigned long long dropped_samples = 0;
+};
+
+SloPhaseResult RunSloPhase(milr::nn::Model& model,
+                           const std::vector<std::vector<float>>& golden,
+                           const std::vector<milr::Tensor>& probes,
+                           std::size_t workers, std::size_t clients,
+                           std::size_t total_requests,
+                           const char* incidents_path,
+                           const char* trace_dir) {
+  using namespace milr;
+  const auto drive = [&](runtime::InferenceEngine& engine,
+                         std::size_t count) {
+    const std::size_t per_client = std::max<std::size_t>(1, count / clients);
+    std::vector<std::thread> load;
+    for (std::size_t c = 0; c < clients; ++c) {
+      load.emplace_back([&, c] {
+        std::deque<std::future<Tensor>> inflight;
+        for (std::size_t i = 0; i < per_client; ++i) {
+          inflight.push_back(
+              engine.Submit(probes[(c + i) % probes.size()]));
+          if (inflight.size() >= 16) {
+            inflight.front().get();
+            inflight.pop_front();
+          }
+        }
+        while (!inflight.empty()) {
+          inflight.front().get();
+          inflight.pop_front();
+        }
+      });
+    }
+    for (auto& t : load) t.join();
+  };
+
+  runtime::EngineConfig config;
+  config.worker_threads = workers;
+  config.queue_capacity = 512;
+  config.max_batch = 8;
+  config.batch_linger = std::chrono::microseconds(200);
+  config.scrubber_enabled = false;  // incident drill scrubs on demand
+
+  // Calibration: a short unconstrained run to learn this net/machine's
+  // p99, from which the objective is derived.
+  model.RestoreParams(golden);
+  double objective_ms = 50.0;
+  {
+    runtime::InferenceEngine warmup(model, config);
+    warmup.Start();
+    drive(warmup, std::max<std::size_t>(64, total_requests / 8));
+    objective_ms =
+        std::max(50.0, 5.0 * warmup.Snapshot().latency_p99_ms);
+    warmup.Stop();
+  }
+
+  model.RestoreParams(golden);
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable(1u << 12);
+  config.slo_ms = objective_ms;
+  config.slo_target = 0.999;
+  config.latency_oracle = true;
+  config.incident_trace_dir = trace_dir;
+  runtime::InferenceEngine engine(model, config);
+  engine.Start();
+  drive(engine, total_requests);
+
+  // Incident drill: corrupt a whole recoverable layer, scrub, recover.
+  Prng prng(41);
+  engine.InjectFault([&](nn::Model& live) {
+    return memory::CorruptWholeLayer(live, 0, prng);
+  });
+  engine.ScrubNow();
+
+  const auto snap = engine.Snapshot();
+  const auto& journal = engine.incident_journal();
+  const auto incidents = journal.Incidents();
+
+  SloPhaseResult result;
+  result.objective_ms = snap.slo.objective_ms;
+  result.target = snap.slo.target;
+  result.within = snap.slo.within;
+  result.violations = snap.slo.violations;
+  result.goodput = snap.slo.goodput;
+  result.fast_burn_rate = snap.slo.fast_burn_rate;
+  result.slow_burn_rate = snap.slo.slow_burn_rate;
+  result.hist_p99_ms = snap.latency_p99_ms;
+  result.oracle_p99_ms = snap.latency_oracle_p99_ms;
+  result.hist_p99_rel_err =
+      result.oracle_p99_ms > 0.0
+          ? std::abs(result.hist_p99_ms - result.oracle_p99_ms) /
+                result.oracle_p99_ms
+          : 0.0;
+  result.incidents_opened = journal.incidents_opened();
+  result.incidents_open = journal.open_incidents();
+  result.dropped_samples = snap.dropped_samples;
+  if (!incidents.empty()) {
+    result.incident_recovered =
+        !incidents.back().open && incidents.back().recovered;
+    result.trace_captured = !incidents.back().trace_path.empty();
+  }
+
+  if (incidents_path != nullptr) {
+    if (std::FILE* f = std::fopen(incidents_path, "w")) {
+      const std::string json = engine.IncidentJournalJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", incidents_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", incidents_path);
+    }
+  }
+  engine.Stop();
+  tracer.Disable();
+  tracer.Clear();
+
+  std::printf("slo phase (objective=%.0fms target=%.3f, %zu requests): "
+              "goodput %.4f (%llu within / %llu over)  fast_burn %.3f  "
+              "slow_burn %.3f\n"
+              "  p99: histogram %.3f ms  oracle %.3f ms  rel_err %.4f "
+              "(bucket bound %.4f)\n"
+              "  incident drill: %llu opened, %llu still open, "
+              "recovered=%s, trace=%s\n",
+              result.objective_ms, result.target, total_requests,
+              result.goodput, result.within, result.violations,
+              result.fast_burn_rate, result.slow_burn_rate,
+              result.hist_p99_ms, result.oracle_p99_ms,
+              result.hist_p99_rel_err,
+              obs::LatencyHistogram::kMaxRelativeError,
+              result.incidents_opened, result.incidents_open,
+              result.incident_recovered ? "yes" : "NO",
+              result.trace_captured ? "yes" : "NO");
+  return result;
+}
+
 // ------------------------------------------------------------ JSON output
 //
 // --json writes BENCH_runtime.json: every number the text report prints,
@@ -962,7 +1141,8 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
                     const std::vector<PhaseRow>& phases,
                     const std::vector<CoHostRow>& cohost,
                     const QueueBenchResult& queue_bench,
-                    const TracingOverheadResult& tracing) {
+                    const TracingOverheadResult& tracing,
+                    const SloPhaseResult& slo) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -1086,10 +1266,26 @@ void WriteBenchJson(const char* path, const char* net, bool smoke,
   std::fprintf(f,
                "  \"tracing\": {\"qps_disabled\": %.3f, "
                "\"qps_enabled\": %.3f, \"overhead_pct\": %.4f, "
-               "\"events_emitted\": %llu, \"events_dropped\": %llu}\n",
+               "\"events_emitted\": %llu, \"events_dropped\": %llu},\n",
                tracing.qps_disabled, tracing.qps_enabled,
                tracing.overhead_pct, tracing.events_emitted,
                tracing.events_dropped);
+  std::fprintf(f,
+               "  \"slo\": {\"objective_ms\": %.3f, \"target\": %.5f, "
+               "\"within\": %llu, \"violations\": %llu, "
+               "\"goodput\": %.6f, \"fast_burn_rate\": %.4f, "
+               "\"slow_burn_rate\": %.4f, \"hist_p99_ms\": %.4f, "
+               "\"oracle_p99_ms\": %.4f, \"hist_p99_rel_err\": %.6f, "
+               "\"incidents_opened\": %llu, \"incidents_open\": %llu, "
+               "\"incident_recovered\": %s, \"trace_captured\": %s, "
+               "\"dropped_samples\": %llu}\n",
+               slo.objective_ms, slo.target, slo.within, slo.violations,
+               slo.goodput, slo.fast_burn_rate, slo.slow_burn_rate,
+               slo.hist_p99_ms, slo.oracle_p99_ms, slo.hist_p99_rel_err,
+               slo.incidents_opened, slo.incidents_open,
+               slo.incident_recovered ? "true" : "false",
+               slo.trace_captured ? "true" : "false",
+               slo.dropped_samples);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -1197,12 +1393,19 @@ int main(int argc, char** argv) {
       model, golden, probes, batches.back(), workers, clients, seconds,
       trace_path);
 
+  // SLO + incident-journal acceptance phase: fixed request count under the
+  // oracle ring (16K) so histogram and oracle compare the same samples.
+  const SloPhaseResult slo = RunSloPhase(
+      model, golden, probes, workers, clients,
+      /*total_requests=*/smoke ? 4000 : 12000, "BENCH_incidents.json",
+      "incident_traces");
+
   if (json) {
     WriteBenchJson("BENCH_runtime.json", net, smoke, clients, workers,
                    seconds,
                    static_cast<double>(model.TotalParamBytes()) / 1e6,
                    sweep, registry, agreement, trained, phase_rows, cohost,
-                   queue_bench, tracing);
+                   queue_bench, tracing, slo);
   }
   return 0;
 }

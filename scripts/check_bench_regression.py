@@ -62,6 +62,14 @@ DEFAULT_TOLERANCES = {
     # top-1 agreement of int8 vs exact.
     "int8_over_fast_min": 0.0,
     "int8_top1_min": 0.0,
+    # SLO observability guards (the "slo" section). Goodput under the
+    # bench's generous objective must stay ~1.0 — healthy serving has no
+    # business violating a 250 ms SLO — and the lock-free histogram's p99
+    # must agree with the retained sorted-sample oracle. The histogram's
+    # documented bucket bound is 1/32 ~ 3.1%; the ceiling adds slack for
+    # the oracle's linear interpolation between neighbouring samples.
+    "slo_goodput_min": 0.95,
+    "hist_p99_rel_err_max": 0.08,
     # Only used when enforce_absolute is true.
     "qps_rel_pct": 30.0,
     "p99_rel_pct": 75.0,
@@ -78,6 +86,7 @@ MEASURED_SECTIONS = (
     "cohost",
     "queue",
     "tracing",
+    "slo",
 )
 
 
@@ -208,6 +217,28 @@ def compare(baseline, current):
     if "overhead_pct" in cur_tracing:
         comp.check_max("tracing.overhead_pct", cur_tracing["overhead_pct"],
                        tol["tracing_overhead_pct_max"])
+
+    # --- SLO observability: goodput under the generous bench objective,
+    # histogram-vs-oracle p99 agreement, and the incident drill. All
+    # current-run-only (same-process measurements; no baseline drift to
+    # absorb).
+    cur_slo = current.get("slo", {})
+    if "goodput" in cur_slo:
+        comp.check_min("slo.goodput", cur_slo["goodput"],
+                       tol["slo_goodput_min"])
+    if "hist_p99_rel_err" in cur_slo:
+        comp.check_max("slo.hist_p99_rel_err", cur_slo["hist_p99_rel_err"],
+                       tol["hist_p99_rel_err_max"])
+    if "incidents_opened" in cur_slo:
+        comp.check_min("slo.incidents_opened",
+                       float(cur_slo["incidents_opened"]), 1.0)
+        comp.check_max("slo.incidents_open",
+                       float(cur_slo.get("incidents_open", 0)), 0.0)
+        if not cur_slo.get("incident_recovered", False):
+            comp.checked += 1
+            comp.failures.append(
+                "slo.incident_recovered: the incident drill's quarantine "
+                "did not close recovered")
 
     # --- absolute QPS/p99, opt-in for pinned perf hardware only.
     if baseline.get("enforce_absolute"):

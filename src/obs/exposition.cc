@@ -24,6 +24,28 @@ void AppendValue(std::string& out, double value) {
 
 }  // namespace
 
+std::string EscapeHelpText(const std::string& help) {
+  // Exposition format 0.0.4: HELP text escapes backslash and newline only
+  // (quotes are legal there — HELP is not a quoted string like label
+  // values are). Unescaped, a '\n' in help text terminates the HELP line
+  // early and the remainder parses as a bogus sample.
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string EscapeLabelValue(const std::string& value) {
   std::string out;
   out.reserve(value.size());
@@ -52,7 +74,7 @@ std::string RenderPrometheusText(const std::vector<MetricFamily>& families) {
       out += "# HELP ";
       out += family.name;
       out += " ";
-      out += family.help;
+      out += EscapeHelpText(family.help);
       out += "\n";
     }
     out += "# TYPE ";

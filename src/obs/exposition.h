@@ -29,6 +29,10 @@ struct MetricFamily {
 /// newline); callers compose `key="escaped"` label bodies from it.
 std::string EscapeLabelValue(const std::string& value);
 
+/// Escapes HELP text per the exposition format (backslash and newline —
+/// quotes are legal in HELP). RenderPrometheusText applies this itself.
+std::string EscapeHelpText(const std::string& help);
+
 /// Renders the families in Prometheus text exposition format 0.0.4.
 std::string RenderPrometheusText(const std::vector<MetricFamily>& families);
 

@@ -1,0 +1,173 @@
+// Lock-free, mergeable latency histogram (HDR-style log-bucketed).
+//
+// The runtime's latency truth used to be a mutex-guarded reservoir of the
+// most recent 16K samples — the last mutex on the request hot path, and
+// the reason host-level percentiles had to be request-weighted
+// approximations (sample windows cannot be merged after the fact; bucket
+// counts can). This histogram replaces it:
+//
+//   * Record() is two relaxed fetch_adds and zero branches beyond the
+//     bucket-index computation — wait-free, no mutex, safe from any
+//     number of threads.
+//   * Buckets are fixed at compile time: 2^kSubBits linear sub-buckets
+//     per power-of-two major bucket, so every bucket's width is at most
+//     1/2^kSubBits of its lower bound. Any quantile read back from a
+//     bucket midpoint is within kMaxRelativeError of the true sample
+//     value — the documented error bound the tests assert against a
+//     sorted oracle.
+//   * Because the boundaries are fixed and identical across instances,
+//     HistogramSnapshot::Merge is a bucket-wise sum and the merged
+//     quantiles are EXACT (to the same bucket bound) — what
+//     AggregateSnapshots needs to stop approximating.
+//
+// Values are recorded in nanoseconds as uint64; the full 64-bit range is
+// representable, so there is no saturation bucket to lie about outliers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace milr::obs {
+
+/// Point-in-time copy of a LatencyHistogram's buckets. Mergeable (exact,
+/// bucket-wise) and queryable; plain data, safe to copy across threads.
+struct HistogramSnapshot {
+  /// Dense bucket counts, trimmed to the highest non-empty bucket (so an
+  /// idle model's snapshot is a handful of bytes, not the full table).
+  std::vector<std::uint64_t> buckets;
+  /// Total recorded samples == sum of buckets (recomputed at snapshot
+  /// time from the bucket loads so the snapshot is self-consistent even
+  /// while writers race it).
+  std::uint64_t count = 0;
+  /// Sum of recorded values in nanoseconds (for the mean). May lag the
+  /// bucket sum by in-flight writers; the skew is bounded by the number
+  /// of racing threads and irrelevant at any real sample count.
+  std::uint64_t sum_nanos = 0;
+
+  bool empty() const { return count == 0; }
+
+  /// Exact bucket-wise merge: after Merge, quantiles are those of the
+  /// union of both sample sets (within the shared bucket error bound).
+  void Merge(const HistogramSnapshot& other) {
+    if (other.buckets.size() > buckets.size()) {
+      buckets.resize(other.buckets.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+    count += other.count;
+    sum_nanos += other.sum_nanos;
+  }
+
+  /// Value (nanoseconds) at quantile q in [0, 1]: the midpoint of the
+  /// bucket containing the ceil(q * count)-th sample. 0 when empty.
+  std::uint64_t QuantileNanos(double q) const;
+  /// QuantileNanos in milliseconds — the unit Metrics reports.
+  double QuantileMillis(double q) const {
+    return static_cast<double>(QuantileNanos(q)) / 1e6;
+  }
+  double MeanMillis() const {
+    return count > 0 ? static_cast<double>(sum_nanos) / 1e6 /
+                           static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+class LatencyHistogram {
+ public:
+  /// log2 of the linear sub-buckets per power-of-two range. 5 → 32
+  /// sub-buckets → every bucket is ≤ 1/32 of its lower bound wide.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;
+  /// Bucket layout: indices [0, kSubCount) hold the exact small values
+  /// 0..kSubCount-1; each subsequent group of kSubCount buckets covers
+  /// one power-of-two major range [2^m, 2^(m+1)) split linearly.
+  /// Majors m = kSubBits .. 63 → (64 - kSubBits) groups + the exact one.
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits) * kSubCount + kSubCount;
+  /// Worst-case relative error of any value reconstructed from its
+  /// bucket: bucket width / bucket lower bound ≤ 1 / kSubCount. Using
+  /// midpoints halves it in practice; tests assert against this bound.
+  static constexpr double kMaxRelativeError =
+      1.0 / static_cast<double>(kSubCount);
+
+  /// Wait-free: two relaxed fetch_adds. Any thread, any time.
+  void Record(std::uint64_t nanos) {
+    buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  /// Copies the bucket counts (racing writers may or may not be
+  /// included — each sample lands exactly once, never torn). The
+  /// snapshot's count is the sum of the copied buckets.
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    std::size_t top = 0;
+    std::array<std::uint64_t, kBucketCount> local;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      local[i] = buckets_[i].load(std::memory_order_relaxed);
+      if (local[i] != 0) top = i + 1;
+    }
+    snap.buckets.assign(local.begin(), local.begin() + top);
+    for (std::size_t i = 0; i < top; ++i) snap.count += local[i];
+    snap.sum_nanos = sum_nanos_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  static constexpr std::size_t BucketIndex(std::uint64_t v) {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned major = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = major - kSubBits;
+    // (v >> shift) is in [kSubCount, 2*kSubCount); its offset into the
+    // major group is the linear sub-bucket.
+    const std::size_t sub =
+        static_cast<std::size_t>(v >> shift) - kSubCount;
+    return (static_cast<std::size_t>(shift) + 1) * kSubCount + sub;
+  }
+
+  /// Smallest value that lands in bucket `index`.
+  static constexpr std::uint64_t BucketLowerBound(std::size_t index) {
+    if (index < kSubCount) return index;
+    const std::size_t group = index / kSubCount;  // >= 1
+    const std::size_t sub = index % kSubCount;
+    return static_cast<std::uint64_t>(kSubCount + sub) << (group - 1);
+  }
+
+  /// Representative value for bucket `index`: its midpoint (exact for
+  /// the width-1 small buckets).
+  static constexpr std::uint64_t BucketMidpoint(std::size_t index) {
+    if (index < kSubCount) return index;
+    const std::size_t group = index / kSubCount;
+    const std::uint64_t width = std::uint64_t{1} << (group - 1);
+    return BucketLowerBound(index) + width / 2;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+inline std::uint64_t HistogramSnapshot::QuantileNanos(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based; q = 0 → first sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return LatencyHistogram::BucketMidpoint(i);
+  }
+  // Unreachable when count == sum(buckets); defend against a stale count.
+  return LatencyHistogram::BucketMidpoint(
+      buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+}  // namespace milr::obs

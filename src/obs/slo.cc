@@ -1,0 +1,101 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace milr::obs {
+
+void SloTracker::Configure(const SloConfig& config) {
+  objective_nanos_ =
+      config.objective_ms > 0.0
+          ? static_cast<std::uint64_t>(config.objective_ms * 1e6)
+          : 0;
+  target_ = std::clamp(config.target, 0.5, 0.99999);
+  fast_.Configure(config.fast_window);
+  slow_.Configure(config.slow_window);
+}
+
+void SloTracker::WindowRing::Record(bool violation,
+                                    std::uint64_t now_nanos) {
+  const std::uint64_t epoch = now_nanos / slice_nanos;
+  Slice& slice = slices[epoch % kSlices];
+  std::uint64_t seen = slice.epoch.load(std::memory_order_relaxed);
+  if (seen != epoch) {
+    // First writer of the slice's new turn zeroes it; losers just write
+    // into the freshly reset counts. A CAS from a *newer* epoch (clock
+    // skew between threads reading now) loses and leaves the slice alone.
+    if (seen < epoch &&
+        slice.epoch.compare_exchange_strong(seen, epoch,
+                                            std::memory_order_relaxed)) {
+      slice.good.store(0, std::memory_order_relaxed);
+      slice.bad.store(0, std::memory_order_relaxed);
+    }
+  }
+  (violation ? slice.bad : slice.good)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloTracker::WindowRing::Read(std::uint64_t now_nanos,
+                                  std::uint64_t& good,
+                                  std::uint64_t& bad) const {
+  const std::uint64_t now_epoch = now_nanos / slice_nanos;
+  const std::uint64_t oldest =
+      now_epoch >= kSlices - 1 ? now_epoch - (kSlices - 1) : 0;
+  good = 0;
+  bad = 0;
+  for (const Slice& slice : slices) {
+    const std::uint64_t epoch = slice.epoch.load(std::memory_order_relaxed);
+    if (epoch < oldest || epoch > now_epoch) continue;
+    good += slice.good.load(std::memory_order_relaxed);
+    bad += slice.bad.load(std::memory_order_relaxed);
+  }
+}
+
+void SloTracker::Record(std::uint64_t latency_nanos,
+                        std::uint64_t now_nanos) {
+  if (objective_nanos_ == 0) return;
+  const bool violation = latency_nanos > objective_nanos_;
+  (violation ? violations_ : within_)
+      .fetch_add(1, std::memory_order_relaxed);
+  fast_.Record(violation, now_nanos);
+  slow_.Record(violation, now_nanos);
+}
+
+SloSnapshot SloTracker::Snapshot(std::uint64_t now_nanos) const {
+  SloSnapshot snap;
+  snap.enabled = enabled();
+  snap.objective_ms = static_cast<double>(objective_nanos_) / 1e6;
+  snap.target = target_;
+  if (!snap.enabled) return snap;
+  snap.within = within_.load(std::memory_order_relaxed);
+  snap.violations = violations_.load(std::memory_order_relaxed);
+  const std::uint64_t total = snap.within + snap.violations;
+  snap.goodput = total > 0 ? static_cast<double>(snap.within) /
+                                 static_cast<double>(total)
+                           : 1.0;
+  const double budget = 1.0 - target_;
+  const auto burn = [&](const WindowRing& ring) {
+    std::uint64_t good = 0, bad = 0;
+    ring.Read(now_nanos, good, bad);
+    const std::uint64_t n = good + bad;
+    if (n == 0) return 0.0;
+    return static_cast<double>(bad) / static_cast<double>(n) / budget;
+  };
+  snap.fast_burn_rate = burn(fast_);
+  snap.slow_burn_rate = burn(slow_);
+  snap.fast_burn_alert = snap.fast_burn_rate >= 1.0;
+  return snap;
+}
+
+bool SloTracker::FastBurnTripped(std::uint64_t now_nanos) {
+  if (objective_nanos_ == 0) return false;
+  const bool alert = Snapshot(now_nanos).fast_burn_alert;
+  if (alert) {
+    // Latch: only the edge reports true, so one excursion opens one
+    // incident no matter how often the scrubber polls.
+    return !fast_burn_latched_.exchange(true, std::memory_order_relaxed);
+  }
+  fast_burn_latched_.store(false, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace milr::obs

@@ -1,0 +1,132 @@
+// Per-model SLO tracking: goodput and multi-window burn rates.
+//
+// The paper's availability model asks how much serving capacity survives a
+// fault within a latency budget; this tracker turns that into first-class
+// observables. A model declares a latency objective (e.g. "p(latency <=
+// 20 ms) >= 99.9%"); every served request is then either within SLO or a
+// violation, and three quantities fall out:
+//
+//   * goodput      — lifetime fraction of requests within the objective;
+//   * burn rates   — SRE-style: the violation fraction over a recent
+//     window divided by the error budget (1 - target). Burn rate 1.0
+//     means the budget is being consumed exactly as fast as it accrues;
+//     sustained > 1.0 means the SLO will be missed. Two windows — fast
+//     (~1 min, pages) and slow (~10 min, trend) — so a transient
+//     quarantine spike and a persistent regression are distinguishable.
+//
+// The record path is lock-free (relaxed counters + per-slice atomic
+// epochs with a CAS reset), so it rides RecordLatency without reintroducing
+// the mutex the histogram just removed. Time is passed in explicitly as
+// steady-clock nanoseconds so tests can drive the windows deterministically.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace milr::obs {
+
+struct SloConfig {
+  /// Latency objective in milliseconds; <= 0 disables tracking entirely
+  /// (Record becomes a no-op and the snapshot says so).
+  double objective_ms = 0.0;
+  /// Target fraction of requests within the objective. The error budget
+  /// burn rates divide by is (1 - target). Clamped to [0.5, 0.99999].
+  double target = 0.999;
+  /// Sliding-window lengths for the two burn rates.
+  std::chrono::seconds fast_window{60};
+  std::chrono::seconds slow_window{600};
+};
+
+/// Point-in-time SLO view; embedded in MetricsSnapshot.
+struct SloSnapshot {
+  bool enabled = false;
+  double objective_ms = 0.0;
+  double target = 0.999;
+  std::uint64_t within = 0;      // requests within the objective
+  std::uint64_t violations = 0;  // requests over it
+  /// within / (within + violations); 1.0 before any traffic (no request
+  /// has missed an SLO nobody has been served against).
+  double goodput = 1.0;
+  /// Violation fraction over the window / error budget; 0 when the
+  /// window saw no traffic.
+  double fast_burn_rate = 0.0;
+  double slow_burn_rate = 0.0;
+  /// True while the fast window burns budget faster than it accrues
+  /// (fast_burn_rate >= 1) — the incident-journal trip condition.
+  bool fast_burn_alert = false;
+};
+
+class SloTracker {
+ public:
+  SloTracker() = default;
+  explicit SloTracker(const SloConfig& config) { Configure(config); }
+
+  /// Not thread-safe against Record; call before traffic starts (the
+  /// runtimes configure at construction).
+  void Configure(const SloConfig& config);
+
+  bool enabled() const { return objective_nanos_ > 0; }
+
+  /// Lock-free. `latency_nanos` is the served request's end-to-end
+  /// latency, `now_nanos` a steady-clock timestamp (injected so tests
+  /// can step time).
+  void Record(std::uint64_t latency_nanos, std::uint64_t now_nanos);
+
+  SloSnapshot Snapshot(std::uint64_t now_nanos) const;
+
+  /// Edge-triggered fast-burn check for the incident journal: returns
+  /// true exactly once per excursion of the fast burn rate above 1.0
+  /// (re-arms when it drops back below). Intended for periodic callers
+  /// (the scrub cycle), not the hot path.
+  bool FastBurnTripped(std::uint64_t now_nanos);
+
+  static std::uint64_t NowNanos() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  /// Sliding window as a ring of time slices. Each slice carries the
+  /// epoch (now / slice_len) it was last used for; a writer landing on a
+  /// recycled slice CASes the epoch forward and zeroes the counts. The
+  /// reset is racy by design — a concurrent writer's sample can land
+  /// just before the zeroing and be lost, or just after and count — but
+  /// the error is O(racing writers) per slice turnover, vanishing
+  /// against any real window population, and the path stays lock-free.
+  struct WindowRing {
+    static constexpr std::size_t kSlices = 16;
+    struct Slice {
+      std::atomic<std::uint64_t> epoch{0};
+      std::atomic<std::uint64_t> good{0};
+      std::atomic<std::uint64_t> bad{0};
+    };
+    std::uint64_t slice_nanos = 1;
+    std::array<Slice, kSlices> slices;
+
+    void Configure(std::chrono::seconds window) {
+      const auto nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(window)
+              .count();
+      slice_nanos = static_cast<std::uint64_t>(
+          nanos > 0 ? (nanos + kSlices - 1) / kSlices : 1);
+    }
+    void Record(bool violation, std::uint64_t now_nanos);
+    /// Sums slices still inside the window ending at now.
+    void Read(std::uint64_t now_nanos, std::uint64_t& good,
+              std::uint64_t& bad) const;
+  };
+
+  std::uint64_t objective_nanos_ = 0;  // 0 = disabled
+  double target_ = 0.999;
+  std::atomic<std::uint64_t> within_{0};
+  std::atomic<std::uint64_t> violations_{0};
+  WindowRing fast_;
+  WindowRing slow_;
+  std::atomic<bool> fast_burn_latched_{false};
+};
+
+}  // namespace milr::obs

@@ -8,6 +8,7 @@ ServingHostConfig HostConfigFrom(const EngineConfig& config) {
   host.worker_threads = config.worker_threads;
   host.scrubber_enabled = config.scrubber_enabled;
   host.scrub_period = config.scrub_period;
+  host.incident_trace_dir = config.incident_trace_dir;
   return host;
 }
 
@@ -20,6 +21,9 @@ ModelRuntimeConfig RuntimeConfigFrom(const EngineConfig& config) {
   runtime.kernel = config.kernel;
   runtime.autotune_budget_ms = config.autotune_budget_ms;
   runtime.activation_scale_cache = config.activation_scale_cache;
+  runtime.slo_ms = config.slo_ms;
+  runtime.slo_target = config.slo_target;
+  runtime.latency_oracle = config.latency_oracle;
   runtime.milr = config.milr;
   return runtime;
 }

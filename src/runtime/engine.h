@@ -69,6 +69,18 @@ struct EngineConfig {
   std::chrono::microseconds batch_linger{0};
   bool scrubber_enabled = true;
   std::chrono::milliseconds scrub_period{50};
+  /// Latency SLO in milliseconds; <= 0 (default) declares no objective.
+  /// With one set, Snapshot() reports goodput and fast/slow burn rates
+  /// (see ModelRuntimeConfig::slo_ms).
+  double slo_ms = 0.0;
+  /// Target within-SLO fraction (error budget = 1 - slo_target).
+  double slo_target = 0.999;
+  /// Validation-only sorted-sample oracle alongside the lock-free latency
+  /// histogram (see ModelRuntimeConfig::latency_oracle). Default off.
+  bool latency_oracle = false;
+  /// Incident-journal auto-trace directory (see
+  /// ServingHostConfig::incident_trace_dir). Empty disables capture.
+  std::string incident_trace_dir;
   /// GEMM tier for the serving path. kExact keeps served outputs
   /// bit-identical to the reference kernels — the fault-injection
   /// experiments and equivalence oracles assume it. kFast serves from the
@@ -153,6 +165,14 @@ class InferenceEngine {
 
   MetricsSnapshot Snapshot() const { return runtime_->Snapshot(); }
   Metrics& metrics() { return runtime_->metrics(); }
+  /// The host-wide incident journal (fault/detect/quarantine/recovery
+  /// records; see obs/incident.h).
+  obs::IncidentJournal& incident_journal() {
+    return host_.incident_journal();
+  }
+  std::string IncidentJournalJson() const {
+    return host_.IncidentJournalJson();
+  }
   const nn::Model& model() const { return runtime_->model(); }
   core::MilrProtector& protector() { return runtime_->protector(); }
   const EngineConfig& config() const { return config_; }

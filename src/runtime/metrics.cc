@@ -1,6 +1,7 @@
 #include "runtime/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace milr::runtime {
@@ -47,6 +48,7 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "requests_rejected", requests_rejected);
   AppendField(out, "scheduler_grants", scheduler_grants);
   AppendField(out, "linger_skips", linger_skips);
+  AppendField(out, "dropped_samples", dropped_samples);
   AppendField(out, "queue_depth", queue_depth);
   AppendField(out, "in_flight_batches", in_flight_batches);
   AppendField(out, "scrub_cycles", scrub_cycles);
@@ -63,16 +65,26 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "recovery_downtime_seconds", recovery_downtime_seconds);
   AppendField(out, "mttr_seconds", mttr_seconds);
   // The percentile block carries its own honesty marker: true when these
-  // values are AggregateSnapshots' request-weighted approximation rather
-  // than true percentiles of one sample window.
+  // values are the request-weighted fallback (a merge over parts without
+  // histogram buckets) rather than percentiles of one distribution.
   AppendField(out, "approx_percentiles", approx_percentiles);
   AppendField(out, "latency_mean_ms", latency_mean_ms);
   AppendField(out, "latency_p50_ms", latency_p50_ms);
   AppendField(out, "latency_p99_ms", latency_p99_ms);
+  AppendField(out, "latency_oracle_p99_ms", latency_oracle_p99_ms);
   AppendField(out, "queue_wait_mean_ms", queue_wait_mean_ms);
   AppendField(out, "queue_wait_p50_ms", queue_wait_p50_ms);
   AppendField(out, "queue_wait_p99_ms", queue_wait_p99_ms);
   AppendField(out, "throughput_rps", throughput_rps);
+  // SLO block (all zeros / goodput 1.0 when no objective is configured).
+  AppendField(out, "slo_enabled", slo.enabled);
+  AppendField(out, "slo_objective_ms", slo.objective_ms);
+  AppendField(out, "slo_target", slo.target);
+  AppendField(out, "slo_within", slo.within);
+  AppendField(out, "slo_violations", slo.violations);
+  AppendField(out, "slo_goodput", slo.goodput);
+  AppendField(out, "slo_fast_burn_rate", slo.fast_burn_rate);
+  AppendField(out, "slo_slow_burn_rate", slo.slow_burn_rate);
   AppendField(out, "batches_served", batches_served);
   AppendField(out, "batch_size_mean", batch_size_mean);
   AppendField(out, "batch_size_max", batch_size_max);
@@ -94,22 +106,48 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 void Metrics::MarkStarted() {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
   started_ = Clock::now();
   epoch_served_base_ = requests_served_.load(std::memory_order_relaxed);
   epoch_downtime_base_nanos_ =
       downtime_nanos_.load(std::memory_order_relaxed);
 }
 
+void Metrics::EnableLatencyOracle() {
+  std::lock_guard<std::mutex> lock(oracle_mutex_);
+  oracle_samples_.reserve(kLatencyWindow);
+  oracle_enabled_.store(true, std::memory_order_release);
+}
+
+std::uint64_t Metrics::SanitizeToNanos(double millis) {
+  // NaN fails every comparison, so test for "good" and invert: both NaN
+  // and negatives clamp to 0 and count as dropped (a poisoned sample must
+  // not park in the top bucket and own p99 forever).
+  if (!(millis >= 0.0)) {
+    dropped_samples_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  return static_cast<std::uint64_t>(millis * 1e6);
+}
+
 void Metrics::RecordLatency(double millis) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_ring_.Record(millis);
+  const std::uint64_t nanos = SanitizeToNanos(millis);
+  latency_hist_.Record(nanos);
+  if (slo_.enabled()) slo_.Record(nanos, obs::SloTracker::NowNanos());
+  if (oracle_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(oracle_mutex_);
+    if (oracle_samples_.size() < kLatencyWindow) {
+      oracle_samples_.push_back(static_cast<double>(nanos) / 1e6);
+    } else {
+      oracle_samples_[oracle_next_] = static_cast<double>(nanos) / 1e6;
+    }
+    oracle_next_ = (oracle_next_ + 1) % kLatencyWindow;
+  }
 }
 
 void Metrics::RecordQueueWait(double millis) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  queue_wait_ring_.Record(millis);
+  queue_wait_hist_.Record(SanitizeToNanos(millis));
 }
 
 void Metrics::RecordRejected() {
@@ -179,6 +217,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
   snap.scheduler_grants = scheduler_grants_.load(std::memory_order_relaxed);
   snap.linger_skips = linger_skips_.load(std::memory_order_relaxed);
+  snap.dropped_samples = dropped_samples_.load(std::memory_order_relaxed);
   snap.scrub_cycles = scrub_cycles_.load(std::memory_order_relaxed);
   snap.detections = detections_.load(std::memory_order_relaxed);
   snap.layers_flagged = layers_flagged_.load(std::memory_order_relaxed);
@@ -189,19 +228,15 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.corrupted_weights = corrupted_weights_.load(std::memory_order_relaxed);
 
   // One locked read of the epoch mark (a consistent trio — see the
-  // latency_mutex_ comment) and the sample windows.
+  // epoch_mutex_ comment).
   Clock::time_point started;
   std::uint64_t served_base = 0;
   std::uint64_t downtime_base_nanos = 0;
-  std::vector<double> window;
-  std::vector<double> wait_window;
   {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
     started = started_;
     served_base = epoch_served_base_;
     downtime_base_nanos = epoch_downtime_base_nanos_;
-    window = latency_ring_.samples;
-    wait_window = queue_wait_ring_.samples;
   }
 
   snap.uptime_seconds =
@@ -259,20 +294,34 @@ MetricsSnapshot Metrics::Snapshot() const {
         std::memory_order_relaxed);
   }
 
-  const auto window_stats = [](std::vector<double>& samples, double& mean,
-                               double& p50, double& p99) {
-    if (samples.empty()) return;
-    double sum = 0.0;
-    for (const double v : samples) sum += v;
-    mean = sum / static_cast<double>(samples.size());
-    std::sort(samples.begin(), samples.end());
-    p50 = Quantile(samples, 0.5);
-    p99 = Quantile(samples, 0.99);
-  };
-  window_stats(window, snap.latency_mean_ms, snap.latency_p50_ms,
-               snap.latency_p99_ms);
-  window_stats(wait_window, snap.queue_wait_mean_ms, snap.queue_wait_p50_ms,
-               snap.queue_wait_p99_ms);
+  // Latency truth: the lock-free histograms. The bucket snapshot rides
+  // on the MetricsSnapshot so host-level aggregation can merge exactly.
+  snap.latency_hist = latency_hist_.Snapshot();
+  snap.queue_wait_hist = queue_wait_hist_.Snapshot();
+  if (!snap.latency_hist.empty()) {
+    snap.latency_mean_ms = snap.latency_hist.MeanMillis();
+    snap.latency_p50_ms = snap.latency_hist.QuantileMillis(0.5);
+    snap.latency_p99_ms = snap.latency_hist.QuantileMillis(0.99);
+  }
+  if (!snap.queue_wait_hist.empty()) {
+    snap.queue_wait_mean_ms = snap.queue_wait_hist.MeanMillis();
+    snap.queue_wait_p50_ms = snap.queue_wait_hist.QuantileMillis(0.5);
+    snap.queue_wait_p99_ms = snap.queue_wait_hist.QuantileMillis(0.99);
+  }
+
+  if (oracle_enabled_.load(std::memory_order_acquire)) {
+    std::vector<double> window;
+    {
+      std::lock_guard<std::mutex> lock(oracle_mutex_);
+      window = oracle_samples_;
+    }
+    if (!window.empty()) {
+      std::sort(window.begin(), window.end());
+      snap.latency_oracle_p99_ms = Quantile(window, 0.99);
+    }
+  }
+
+  snap.slo = slo_.Snapshot(obs::SloTracker::NowNanos());
   return snap;
 }
 
@@ -280,16 +329,30 @@ MetricsSnapshot AggregateSnapshots(
     const std::vector<MetricsSnapshot>& parts) {
   MetricsSnapshot agg;
   if (parts.empty()) return agg;
+  // Exact merge is possible when every traffic-bearing part carries its
+  // histogram buckets (always true for snapshots taken from a live
+  // Metrics); hand-built or deserialized snapshots without buckets force
+  // the request-weighted fallback below.
+  bool exact = true;
+  for (const auto& p : parts) {
+    if (p.requests_served > 0 &&
+        (p.latency_hist.empty() && p.queue_wait_hist.empty())) {
+      exact = false;
+      break;
+    }
+  }
   double availability_sum = 0.0;
   double latency_mean_w = 0.0, latency_p50_w = 0.0, latency_p99_w = 0.0;
   double wait_mean_w = 0.0, wait_p50_w = 0.0, wait_p99_w = 0.0;
   std::uint64_t batch_samples = 0;
   double batch_service_ms = 0.0;
+  bool slo_enabled = false;
   for (const auto& p : parts) {
     agg.requests_served += p.requests_served;
     agg.requests_rejected += p.requests_rejected;
     agg.scheduler_grants += p.scheduler_grants;
     agg.linger_skips += p.linger_skips;
+    agg.dropped_samples += p.dropped_samples;
     agg.queue_depth += p.queue_depth;
     agg.in_flight_batches += p.in_flight_batches;
     agg.scrub_cycles += p.scrub_cycles;
@@ -312,6 +375,20 @@ MetricsSnapshot AggregateSnapshots(
     wait_p50_w += w * p.queue_wait_p50_ms;
     wait_p99_w += w * p.queue_wait_p99_ms;
     agg.throughput_rps += p.throughput_rps;
+    agg.latency_hist.Merge(p.latency_hist);
+    agg.queue_wait_hist.Merge(p.queue_wait_hist);
+    // SLO: request counters sum (goodput recomputes exactly below); burn
+    // rates and the objective roll up as the worst model's — the value a
+    // host-level alert should fire on.
+    slo_enabled = slo_enabled || p.slo.enabled;
+    agg.slo.within += p.slo.within;
+    agg.slo.violations += p.slo.violations;
+    agg.slo.objective_ms = std::max(agg.slo.objective_ms, p.slo.objective_ms);
+    agg.slo.target = std::max(agg.slo.target, p.slo.target);
+    agg.slo.fast_burn_rate =
+        std::max(agg.slo.fast_burn_rate, p.slo.fast_burn_rate);
+    agg.slo.slow_burn_rate =
+        std::max(agg.slo.slow_burn_rate, p.slo.slow_burn_rate);
     agg.batches_served += p.batches_served;
     batch_samples +=
         static_cast<std::uint64_t>(p.batch_size_mean *
@@ -332,14 +409,41 @@ MetricsSnapshot AggregateSnapshots(
                          ? agg.recovery_downtime_seconds /
                                static_cast<double>(agg.recoveries)
                          : 0.0;
-  if (agg.requests_served > 0) {
-    const double total = static_cast<double>(agg.requests_served);
-    agg.latency_mean_ms = latency_mean_w / total;
-    agg.latency_p50_ms = latency_p50_w / total;
-    agg.latency_p99_ms = latency_p99_w / total;
-    agg.queue_wait_mean_ms = wait_mean_w / total;
-    agg.queue_wait_p50_ms = wait_p50_w / total;
-    agg.queue_wait_p99_ms = wait_p99_w / total;
+  agg.slo.enabled = slo_enabled;
+  const std::uint64_t slo_total = agg.slo.within + agg.slo.violations;
+  agg.slo.goodput = slo_total > 0 ? static_cast<double>(agg.slo.within) /
+                                        static_cast<double>(slo_total)
+                                  : 1.0;
+  agg.slo.fast_burn_alert = agg.slo.fast_burn_rate >= 1.0;
+  if (exact) {
+    // The merged buckets ARE the union distribution: percentiles of the
+    // whole host, exact to the shared bucket error bound.
+    if (!agg.latency_hist.empty()) {
+      agg.latency_mean_ms = agg.latency_hist.MeanMillis();
+      agg.latency_p50_ms = agg.latency_hist.QuantileMillis(0.5);
+      agg.latency_p99_ms = agg.latency_hist.QuantileMillis(0.99);
+    }
+    if (!agg.queue_wait_hist.empty()) {
+      agg.queue_wait_mean_ms = agg.queue_wait_hist.MeanMillis();
+      agg.queue_wait_p50_ms = agg.queue_wait_hist.QuantileMillis(0.5);
+      agg.queue_wait_p99_ms = agg.queue_wait_hist.QuantileMillis(0.99);
+    }
+    agg.approx_percentiles = false;
+  } else {
+    if (agg.requests_served > 0) {
+      const double total = static_cast<double>(agg.requests_served);
+      agg.latency_mean_ms = latency_mean_w / total;
+      agg.latency_p50_ms = latency_p50_w / total;
+      agg.latency_p99_ms = latency_p99_w / total;
+      agg.queue_wait_mean_ms = wait_mean_w / total;
+      agg.queue_wait_p50_ms = wait_p50_w / total;
+      agg.queue_wait_p99_ms = wait_p99_w / total;
+    }
+    // A single bucketless part's percentiles pass through exactly; only
+    // a true merge degrades to the request-weighted approximation.
+    agg.approx_percentiles =
+        parts.size() > 1 ||
+        (parts.size() == 1 && parts.front().approx_percentiles);
   }
   if (agg.batches_served > 0) {
     agg.batch_size_mean = static_cast<double>(batch_samples) /
@@ -347,11 +451,6 @@ MetricsSnapshot AggregateSnapshots(
     agg.batch_service_mean_ms =
         batch_service_ms / static_cast<double>(agg.batches_served);
   }
-  // A single part's percentiles pass through exactly; only a true merge
-  // degrades to the request-weighted approximation.
-  agg.approx_percentiles =
-      parts.size() > 1 ||
-      (parts.size() == 1 && parts.front().approx_percentiles);
   return agg;
 }
 

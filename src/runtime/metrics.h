@@ -2,10 +2,14 @@
 //
 // Counters are written from four kinds of threads at once (client submit
 // paths, inference workers, the scrubber, the fault drive), so everything
-// hot is a relaxed atomic; the latency reservoir — needed for percentiles —
-// is a mutex-guarded ring of the most recent samples. Snapshot() is the
-// only read path and computes the derived quantities (availability, MTTR,
-// p50/p99, throughput) the availability experiments report.
+// hot is a relaxed atomic — including the latency distributions, which are
+// lock-free log-bucketed histograms (obs/histogram.h) rather than the old
+// mutex-guarded reservoir. The record path (RecordLatency/RecordQueueWait)
+// therefore takes no mutex at all; the one mutex left in this class guards
+// the uptime-epoch trio, which is only touched by MarkStarted (a lifecycle
+// event) and Snapshot (the read path). Snapshot() computes the derived
+// quantities (availability, MTTR, p50/p99, throughput, goodput, burn
+// rates) the availability experiments report.
 #pragma once
 
 #include <array>
@@ -15,6 +19,9 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/histogram.h"
+#include "obs/slo.h"
 
 namespace milr::runtime {
 
@@ -29,6 +36,10 @@ struct MetricsSnapshot {
   /// linger_skips is yielding its batching window to co-hosted traffic.
   std::uint64_t scheduler_grants = 0;
   std::uint64_t linger_skips = 0;
+  /// Latency/queue-wait samples rejected at the door (NaN or negative —
+  /// a broken clock or a caller bug) and clamped to 0 instead of
+  /// poisoning the distribution.
+  std::uint64_t dropped_samples = 0;
   std::uint64_t scrub_cycles = 0;
   std::uint64_t detections = 0;          // scrub cycles that flagged layers
   std::uint64_t layers_flagged = 0;
@@ -50,7 +61,10 @@ struct MetricsSnapshot {
   double recovery_downtime_seconds = 0.0;
   double mttr_seconds = 0.0;             // recovery_downtime / recoveries
 
-  double latency_mean_ms = 0.0;          // over the recent-sample window
+  // Latency statistics over ALL samples since construction (the
+  // histogram is cumulative, unlike the old 16K-sample reservoir), with
+  // bounded relative error per obs::LatencyHistogram::kMaxRelativeError.
+  double latency_mean_ms = 0.0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   /// Queue wait alone (admission -> worker pick-up), the scheduler-fairness
@@ -60,6 +74,23 @@ struct MetricsSnapshot {
   double queue_wait_p50_ms = 0.0;
   double queue_wait_p99_ms = 0.0;
   double throughput_rps = 0.0;           // epoch requests served / uptime
+  /// p99 from the retained sorted-sample oracle, 0 unless
+  /// Metrics::EnableLatencyOracle() was called (validation runs only —
+  /// the oracle path takes a mutex). The bench compares this against
+  /// latency_p99_ms to hold the histogram to its error bound.
+  double latency_oracle_p99_ms = 0.0;
+
+  /// The raw bucket counts behind the percentiles above. Carried on the
+  /// snapshot so AggregateSnapshots can merge them EXACTLY (bucket-wise
+  /// sum) instead of request-weighting the derived percentiles. Empty on
+  /// hand-built or legacy snapshots — the aggregate then falls back to
+  /// the weighted approximation and says so.
+  obs::HistogramSnapshot latency_hist;
+  obs::HistogramSnapshot queue_wait_hist;
+
+  /// Per-model SLO view (goodput, burn rates); enabled == false when the
+  /// model declares no latency objective. See obs/slo.h.
+  obs::SloSnapshot slo;
 
   // Micro-batching statistics: one "batch" is one PredictBatch (or single
   // Predict) executed under one shared-lock acquisition by a worker.
@@ -76,11 +107,11 @@ struct MetricsSnapshot {
   std::uint64_t queue_depth = 0;       // requests waiting right now
   std::uint64_t in_flight_batches = 0; // workers inside ServeSome right now
 
-  /// True on aggregated snapshots (AggregateSnapshots with > 1 part):
-  /// the latency/queue-wait percentiles are request-weighted means of the
-  /// per-model percentiles, not percentiles of the merged windows. The
-  /// JSON carries this as "approx_percentiles" so dashboards can label
-  /// host-level p99 honestly.
+  /// True only when the latency/queue-wait percentiles are the
+  /// request-weighted fallback (a merge over parts that carried no
+  /// histogram buckets). Exact bucket-wise merges — the normal case since
+  /// snapshots carry their histograms — keep this false; the JSON carries
+  /// it as "approx_percentiles" for dashboard compatibility.
   bool approx_percentiles = false;
 
   /// Flat JSON object with every field above, for dashboards and logs.
@@ -90,16 +121,20 @@ struct MetricsSnapshot {
 /// Folds per-model snapshots into one host-level view: counters, downtime
 /// and histograms sum; uptime is the max (the runtimes share one wall
 /// clock); availability is the per-model mean; MTTR re-derives from the
-/// summed recovery downtime. Latency/queue-wait statistics are
-/// request-weighted means of the per-model values — an approximation (true
-/// percentiles would need the merged sample windows) that is exact when
-/// the models see similar traffic and conservative enough for dashboards.
+/// summed recovery downtime. Latency/queue-wait percentiles are EXACT when
+/// every traffic-bearing part carries its histogram buckets (the merge is
+/// a bucket-wise sum and the percentiles recompute from the merged
+/// distribution); parts without buckets degrade the merge to the old
+/// request-weighted approximation, flagged by approx_percentiles. SLO
+/// counters sum (goodput recomputes exactly); burn rates and the latency
+/// objective report the worst (max) across parts — the alerting-relevant
+/// rollup.
 MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& parts);
 
 /// Thread-safe registry shared by the engine, scrubber and fault drive.
 class Metrics {
  public:
-  /// Window of recent latency samples kept for percentile estimation.
+  /// Size of the optional sorted-oracle reservoir (EnableLatencyOracle).
   static constexpr std::size_t kLatencyWindow = 1 << 14;
 
   /// Stamps the uptime epoch; called on every (re)start of the owning
@@ -109,14 +144,30 @@ class Metrics {
   /// would divide lifetime counts by the fresh epoch's uptime.
   void MarkStarted();
 
+  /// Declares this model's latency objective; Record/Snapshot then track
+  /// goodput and burn rates. Call before traffic starts (the runtime
+  /// configures at construction). No objective = tracking disabled.
+  void ConfigureSlo(const obs::SloConfig& config) { slo_.Configure(config); }
+
+  /// Turns on the mutex-guarded sorted-sample oracle alongside the
+  /// histogram, for validation runs that want to measure the histogram's
+  /// quantile error on live traffic (Snapshot then fills
+  /// latency_oracle_p99_ms). Deliberately NOT the default: the oracle
+  /// path re-adds a lock to RecordLatency.
+  void EnableLatencyOracle();
+
   /// Largest batch size tracked exactly by the histogram; bigger batches
   /// clamp into this bucket.
   static constexpr std::size_t kBatchHistogramMax = 64;
 
-  /// Records one served request and its end-to-end latency.
+  /// Records one served request and its end-to-end latency. Lock-free
+  /// (two relaxed fetch_adds into the histogram plus the SLO counters)
+  /// unless the validation oracle is enabled. NaN/negative samples clamp
+  /// to 0 and count dropped_samples.
   void RecordLatency(double millis);
   /// Records how long one request sat queued before a worker picked it up
   /// (recorded at batch formation, before the model lock is taken).
+  /// Lock-free; same NaN/negative hardening.
   void RecordQueueWait(double millis);
   void RecordRejected();
 
@@ -147,6 +198,14 @@ class Metrics {
   void RecordFailedRecovery();
   void RecordInjection(std::size_t corrupted_weights);
 
+  /// Periodic SLO fast-burn poll for the incident journal: true exactly
+  /// once per excursion of the fast burn rate above 1.0 (see
+  /// obs::SloTracker::FastBurnTripped). Called off the hot path (scrub
+  /// cycles).
+  bool SloFastBurnTripped() {
+    return slo_.FastBurnTripped(obs::SloTracker::NowNanos());
+  }
+
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -156,6 +215,7 @@ class Metrics {
   std::atomic<std::uint64_t> requests_rejected_{0};
   std::atomic<std::uint64_t> scheduler_grants_{0};
   std::atomic<std::uint64_t> linger_skips_{0};
+  std::atomic<std::uint64_t> dropped_samples_{0};
   std::atomic<std::uint64_t> scrub_cycles_{0};
   std::atomic<std::uint64_t> detections_{0};
   std::atomic<std::uint64_t> layers_flagged_{0};
@@ -175,32 +235,33 @@ class Metrics {
   std::array<std::atomic<std::uint64_t>, kBatchHistogramMax + 1>
       batch_histogram_{};
 
-  /// Fixed-window reservoir of the most recent kLatencyWindow samples;
-  /// guarded by latency_mutex_ (both rings share it).
-  struct SampleRing {
-    std::vector<double> samples;
-    std::size_t next = 0;
+  /// Sanitizes one latency sample: NaN/negative clamps to 0 (counting
+  /// dropped_samples_) and the result converts to histogram nanos.
+  std::uint64_t SanitizeToNanos(double millis);
 
-    void Record(double value) {
-      if (samples.size() < kLatencyWindow) {
-        samples.push_back(value);
-      } else {
-        samples[next] = value;
-      }
-      next = (next + 1) % kLatencyWindow;
-    }
-  };
+  // The latency truth: lock-free log-bucketed histograms. Both record
+  // paths are relaxed fetch_adds; percentiles derive from the buckets at
+  // Snapshot() time with bounded relative error.
+  obs::LatencyHistogram latency_hist_;
+  obs::LatencyHistogram queue_wait_hist_;
+  obs::SloTracker slo_;
 
-  /// Guards the sample rings AND the epoch mark below. Restart support
-  /// makes MarkStarted a live operation (host Start) that can race a
-  /// monitoring thread's Snapshot; the three epoch fields must be read
-  /// and written as one consistent set — a fresh epoch stamp paired with
-  /// stale baselines would emit one absurd throughput/availability sample
-  /// at every restart.
-  mutable std::mutex latency_mutex_;
-  SampleRing latency_ring_;     // end-to-end latency samples
-  SampleRing queue_wait_ring_;  // same windowing, wait-only samples
+  /// Validation oracle (EnableLatencyOracle): the old mutex-guarded
+  /// reservoir of the most recent kLatencyWindow latency samples, kept
+  /// only to measure the histogram's error on live traffic. Off by
+  /// default — the hot path never touches oracle_mutex_ then.
+  std::atomic<bool> oracle_enabled_{false};
+  mutable std::mutex oracle_mutex_;
+  std::vector<double> oracle_samples_;
+  std::size_t oracle_next_ = 0;
 
+  /// Guards the epoch trio below only (NOT the sample path). Restart
+  /// support makes MarkStarted a live operation (host Start) that can
+  /// race a monitoring thread's Snapshot; the three epoch fields must be
+  /// read and written as one consistent set — a fresh epoch stamp paired
+  /// with stale baselines would emit one absurd throughput/availability
+  /// sample at every restart.
+  mutable std::mutex epoch_mutex_;
   // Initialized at construction so a Snapshot() taken before MarkStarted()
   // (engine built but not yet Start()ed) reports a sane, near-zero uptime
   // instead of epoch-scale garbage; MarkStarted() then resets the epoch.

@@ -29,6 +29,18 @@ ModelRuntime::ModelRuntime(nn::Model& model, ModelRuntimeConfig config,
   }
   model_->set_activation_scale_caching(config_.activation_scale_cache);
   model_->set_kernel_config(config_.kernel);
+  if (config_.slo_ms > 0.0) {
+    obs::SloConfig slo;
+    slo.objective_ms = config_.slo_ms;
+    slo.target = config_.slo_target;
+    metrics_.ConfigureSlo(slo);
+  }
+  if (config_.latency_oracle) metrics_.EnableLatencyOracle();
+}
+
+std::shared_ptr<obs::IncidentJournal> ModelRuntime::Journal() const {
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  return journal_;
 }
 
 void ModelRuntime::NotifyScheduler() {
@@ -142,10 +154,41 @@ ScrubReport ModelRuntime::ScrubCycle() {
   }
   report.detect_seconds = detect_watch.ElapsedSeconds();
   metrics_.RecordScrubCycle();
+  // The SLO fast-burn poll rides the scrub cadence (periodic, off the
+  // request path): a burn-rate excursion with no quarantine behind it —
+  // overload, a kernel regression — still opens an incident with its
+  // trace capture. Edge-triggered in the tracker: one excursion, one
+  // incident, regardless of poll frequency.
+  if (const auto journal = Journal();
+      journal && metrics_.SloFastBurnTripped()) {
+    journal->OpenIncident(obs::IncidentKind::kSloFastBurn, name_,
+                          "fast-window SLO burn rate crossed 1.0");
+  }
   if (!detection.any()) return report;
 
   report.flagged_layers = detection.flagged_layers.size();
   metrics_.RecordDetection(detection.flagged_layers.size());
+
+  // The flagged detection forces a quarantine: that is the incident. Open
+  // it BEFORE taking the exclusive lock — the journal's auto trace
+  // capture then snapshots the flight recorder's window leading up to the
+  // quarantine (the fault landing, the detect cycle), which is the
+  // forensic record the recovery story needs.
+  const std::shared_ptr<obs::IncidentJournal> journal = Journal();
+  std::uint64_t incident_id = 0;
+  if (journal) {
+    obs::IncidentEvent detected;
+    detected.kind = obs::IncidentEventKind::kDetection;
+    detected.model = name_;
+    detected.detail = "scrub detect flagged layers";
+    detected.layers = detection.flagged_layers;
+    journal->RecordEvent(std::move(detected));
+    incident_id = journal->OpenIncident(
+        obs::IncidentKind::kQuarantine, name_,
+        "scrub detection flagged " +
+            std::to_string(detection.flagged_layers.size()) + " layer(s)",
+        detection.flagged_layers);
+  }
 
   Stopwatch outage;
   {
@@ -188,16 +231,38 @@ ScrubReport ModelRuntime::ScrubCycle() {
     metrics_.RecordRecovery(report.recovered_layers, report.outage_seconds);
   }
   if (!report.recovery_ok) metrics_.RecordFailedRecovery();
+  if (journal && incident_id != 0) {
+    journal->CloseIncident(
+        incident_id, report.recovery_ok, report.outage_seconds,
+        report.recovered_layers,
+        report.recovery_ok
+            ? "online recovery repaired " +
+                  std::to_string(report.recovered_layers) + " layer(s)"
+            : "recovery failed for at least one layer");
+  }
   return report;
 }
 
 memory::InjectionReport ModelRuntime::InjectFault(
     const std::function<memory::InjectionReport(nn::Model&)>& attack) {
-  std::unique_lock<std::shared_mutex> lock(model_mutex_);
-  memory::InjectionReport report = attack(*model_);
-  metrics_.RecordInjection(report.corrupted_weights);
-  obs::TraceInstantOn(trace_track_, "fault_inject", "fault",
-                      report.corrupted_weights, 1);
+  memory::InjectionReport report;
+  {
+    std::unique_lock<std::shared_mutex> lock(model_mutex_);
+    report = attack(*model_);
+    metrics_.RecordInjection(report.corrupted_weights);
+    obs::TraceInstantOn(trace_track_, "fault_inject", "fault",
+                        report.corrupted_weights, 1);
+  }
+  // Journal outside the exclusive lock: the entry is forensic, not part
+  // of the quarantine, and the journal's mutex must not extend downtime.
+  if (const auto journal = Journal()) {
+    obs::IncidentEvent event;
+    event.kind = obs::IncidentEventKind::kFaultInjection;
+    event.model = name_;
+    event.detail = "fault drive injection";
+    event.weights_touched = report.corrupted_weights;
+    journal->RecordEvent(std::move(event));
+  }
   return report;
 }
 

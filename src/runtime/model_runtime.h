@@ -32,6 +32,7 @@
 #include "milr/config.h"
 #include "milr/protector.h"
 #include "nn/model.h"
+#include "obs/incident.h"
 #include "obs/trace.h"
 #include "runtime/metrics.h"
 #include "runtime/request_queue.h"
@@ -82,6 +83,20 @@ struct ModelRuntimeConfig {
   /// DenseLayer::set_activation_scale_caching). Default off: the int8
   /// tier's bit-stability contract only covers the default.
   bool activation_scale_cache = false;
+  /// Latency SLO for this model, in milliseconds; <= 0 (default) declares
+  /// no objective and disables SLO tracking. With an objective set,
+  /// Metrics tracks goodput (requests within the objective) and SRE-style
+  /// fast/slow burn rates (obs/slo.h), and a fast-burn trip opens an
+  /// incident in the attached journal.
+  double slo_ms = 0.0;
+  /// Target fraction of requests within the objective (error budget =
+  /// 1 - slo_target). Only meaningful with slo_ms > 0.
+  double slo_target = 0.999;
+  /// Validation-only: retain the mutex-guarded sorted-sample oracle
+  /// alongside the lock-free latency histogram so snapshots report
+  /// latency_oracle_p99_ms (see Metrics::EnableLatencyOracle). Default
+  /// off — on, RecordLatency takes a lock again.
+  bool latency_oracle = false;
   /// Protection preset for the embedded MilrProtector.
   core::MilrConfig milr = core::ExtendedMilrConfig();
   /// Deficit-round-robin share of the shared worker pool relative to its
@@ -183,6 +198,16 @@ class ModelRuntime {
     scheduler_ = std::move(scheduler);
   }
 
+  /// The incident journal this runtime reports its fault → detect →
+  /// quarantine → recover lifecycle to; set by ServingHost at
+  /// registration (standalone runtimes and tests may leave it unset —
+  /// every journal call is null-guarded). Shared ownership: the journal
+  /// outlives handles that outlive the host.
+  void AttachIncidentJournal(std::shared_ptr<obs::IncidentJournal> journal) {
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    journal_ = std::move(journal);
+  }
+
   // ------------------------------------------------------------ accessors
 
   /// Counter snapshot plus the live gauges only this runtime can read
@@ -218,6 +243,8 @@ class ModelRuntime {
   };
 
   void NotifyScheduler();
+  /// Pins the attached journal for one call sequence (or null).
+  std::shared_ptr<obs::IncidentJournal> Journal() const;
   /// Serves one drained micro-batch: conforming requests go through a
   /// single PredictBatch; misfits fall back to the single-sample path so a
   /// bad input only fails its own promise.
@@ -236,6 +263,8 @@ class ModelRuntime {
   std::atomic<std::size_t> in_flight_{0};  // workers currently serving us
   std::mutex scheduler_mutex_;
   std::weak_ptr<Scheduler> scheduler_;
+  mutable std::mutex journal_mutex_;
+  std::shared_ptr<obs::IncidentJournal> journal_;
 };
 
 }  // namespace milr::runtime

@@ -6,6 +6,9 @@ namespace milr::runtime {
 
 ServingHost::ServingHost(ServingHostConfig config)
     : config_(config),
+      incident_journal_(std::make_shared<obs::IncidentJournal>(
+          obs::IncidentJournal::Config{
+              .trace_dir = config.incident_trace_dir})),
       scheduler_(std::make_shared<Scheduler>()),
       pool_(std::make_unique<WorkerPool>(
           *scheduler_, WorkerPoolConfig{config.worker_threads})),
@@ -39,6 +42,7 @@ ServingHost::ModelHandle ServingHost::AddModel(nn::Model& model,
     runtime->CloseQueue();
   }
   runtime->AttachScheduler(scheduler_);
+  runtime->AttachIncidentJournal(incident_journal_);
   scheduler_->Register(runtime);
   return runtime;
 }

@@ -43,6 +43,12 @@ struct ServingHostConfig {
   /// One sweep visits every registered model, so the effective per-model
   /// scrub period grows with the number of co-hosted models.
   std::chrono::milliseconds scrub_period{50};
+  /// Directory for the incident journal's auto-captured flight-recorder
+  /// traces (obs/incident.h): every incident opened while tracing is
+  /// enabled snapshots the recorder to
+  /// `<dir>/incident_<id>_<model>.json`. Empty (default) disables
+  /// capture; the journal itself is always on.
+  std::string incident_trace_dir;
 };
 
 class ServingHost {
@@ -95,9 +101,23 @@ class ServingHost {
   MetricsSnapshot AggregateSnapshot() const;
 
   /// Prometheus-style text exposition of every model's snapshot plus the
-  /// per-layer service-time aggregates (runtime/telemetry.h). This is
-  /// what a TelemetryReporter renders periodically.
+  /// per-layer service-time aggregates and the incident-journal counters
+  /// (runtime/telemetry.h). This is what a TelemetryReporter renders
+  /// periodically.
   std::string ExpositionText() const;
+
+  /// The host-wide incident journal: every registered model reports its
+  /// fault → detect → quarantine → recover lifecycle here (and SLO
+  /// fast-burn trips, for models with an objective).
+  obs::IncidentJournal& incident_journal() { return *incident_journal_; }
+  const obs::IncidentJournal& incident_journal() const {
+    return *incident_journal_;
+  }
+  /// The journal as JSON ({"incidents": [...], "events": [...]}) — the
+  /// queryable forensic record.
+  std::string IncidentJournalJson() const {
+    return incident_journal_->ToJson();
+  }
 
   /// Shared-pool size actually used (clamped >= 1).
   std::size_t worker_threads() const { return pool_->thread_count(); }
@@ -109,6 +129,10 @@ class ServingHost {
 
  private:
   ServingHostConfig config_;
+  /// Shared with every registered runtime: handles that outlive the host
+  /// keep a valid journal to report into (no weak_ptr dance needed — the
+  /// journal holds no reference back into the host).
+  std::shared_ptr<obs::IncidentJournal> incident_journal_;
   /// Shared so runtimes can hold weak references: a handle outliving the
   /// host (or racing its destruction) finds the scheduler expired instead
   /// of dangling when it signals new work. Declared before pool_ —

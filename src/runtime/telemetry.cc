@@ -91,6 +91,25 @@ std::vector<obs::MetricFamily> BuildPrometheusFamilies(
       "gauge", [](const S& s) { return s.queue_wait_p50_ms; });
   add("milr_queue_wait_p99_ms", "Queue wait p99 (admission to pick-up).",
       "gauge", [](const S& s) { return s.queue_wait_p99_ms; });
+  add("milr_dropped_samples_total",
+      "Latency samples rejected as NaN/negative and clamped to 0.",
+      "counter", [&](const S& s) { return u64(s.dropped_samples); });
+  add("milr_slo_objective_ms",
+      "Declared latency objective; 0 when no SLO is configured.", "gauge",
+      [](const S& s) { return s.slo.objective_ms; });
+  add("milr_slo_within_total", "Requests served within the SLO objective.",
+      "counter", [&](const S& s) { return u64(s.slo.within); });
+  add("milr_slo_violations_total", "Requests served over the SLO objective.",
+      "counter", [&](const S& s) { return u64(s.slo.violations); });
+  add("milr_slo_goodput_ratio",
+      "Fraction of requests within the SLO objective.", "gauge",
+      [](const S& s) { return s.slo.goodput; });
+  add("milr_slo_fast_burn_rate",
+      "Fast-window violation fraction over the error budget.", "gauge",
+      [](const S& s) { return s.slo.fast_burn_rate; });
+  add("milr_slo_slow_burn_rate",
+      "Slow-window violation fraction over the error budget.", "gauge",
+      [](const S& s) { return s.slo.slow_burn_rate; });
   add("milr_throughput_rps", "Epoch requests served per uptime second.",
       "gauge", [](const S& s) { return s.throughput_rps; });
   add("milr_batches_served_total", "Micro-batches executed.", "counter",
@@ -173,6 +192,26 @@ std::string RenderHostExposition(const ServingHost& host) {
     }
   }
   if (!kernels.samples.empty()) families.push_back(std::move(kernels));
+
+  // Incident-journal rollup: how many incidents were ever opened and how
+  // many are open right now. The full structured record is
+  // ServingHost::IncidentJournalJson(); these two series are what a
+  // dashboard alerts on.
+  const obs::IncidentJournal& journal = host.incident_journal();
+  obs::MetricFamily incidents_total;
+  incidents_total.name = "milr_incidents_total";
+  incidents_total.help = "Incidents ever opened (quarantines, SLO burns).";
+  incidents_total.type = "counter";
+  incidents_total.samples.push_back(obs::MetricSample{
+      std::string(), static_cast<double>(journal.incidents_opened())});
+  families.push_back(std::move(incidents_total));
+  obs::MetricFamily incidents_open;
+  incidents_open.name = "milr_incidents_open";
+  incidents_open.help = "Incidents currently open (quarantine in progress).";
+  incidents_open.type = "gauge";
+  incidents_open.samples.push_back(obs::MetricSample{
+      std::string(), static_cast<double>(journal.open_incidents())});
+  families.push_back(std::move(incidents_open));
   return obs::RenderPrometheusText(families);
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -473,18 +474,24 @@ TEST(MetricsTest, JsonSnapshotCarriesEveryCounter) {
   EXPECT_NEAR(snap.downtime_seconds, 0.25, 1e-6);
   EXPECT_NEAR(snap.recovery_downtime_seconds, 0.25, 1e-6);
   EXPECT_NEAR(snap.mttr_seconds, 0.25, 1e-6);
-  EXPECT_DOUBLE_EQ(snap.latency_p50_ms, 1.5);
+  // Percentiles come from the log-bucketed histogram: exact value is
+  // quantized to a bucket midpoint within the documented relative bound.
+  EXPECT_NEAR(snap.latency_p50_ms, 1.5,
+              1.5 * obs::LatencyHistogram::kMaxRelativeError);
 
   const std::string json = snap.ToJson();
   for (const char* key :
        {"requests_served", "requests_rejected", "scheduler_grants",
-        "linger_skips", "queue_depth", "in_flight_batches", "scrub_cycles",
-        "detections", "layers_flagged", "recoveries", "layers_recovered",
-        "failed_recoveries", "faults_injected", "corrupted_weights",
-        "uptime_seconds", "downtime_seconds", "availability",
-        "recovery_downtime_seconds", "mttr_seconds", "approx_percentiles",
-        "latency_mean_ms", "latency_p50_ms", "latency_p99_ms",
-        "queue_wait_p50_ms", "queue_wait_p99_ms", "throughput_rps"}) {
+        "linger_skips", "dropped_samples", "queue_depth",
+        "in_flight_batches", "scrub_cycles", "detections", "layers_flagged",
+        "recoveries", "layers_recovered", "failed_recoveries",
+        "faults_injected", "corrupted_weights", "uptime_seconds",
+        "downtime_seconds", "availability", "recovery_downtime_seconds",
+        "mttr_seconds", "approx_percentiles", "latency_mean_ms",
+        "latency_p50_ms", "latency_p99_ms", "queue_wait_p50_ms",
+        "queue_wait_p99_ms", "throughput_rps", "slo_enabled",
+        "slo_objective_ms", "slo_target", "slo_within", "slo_violations",
+        "slo_goodput", "slo_fast_burn_rate", "slo_slow_burn_rate"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
 }
@@ -648,6 +655,55 @@ TEST(MetricsTest, AggregateSnapshotsSkewedTrafficWeightsByRequests) {
   EXPECT_NE(agg.ToJson().find("\"approx_percentiles\": true"),
             std::string::npos)
       << "the approximation caveat must be visible in the JSON itself";
+}
+
+// Live snapshots carry histogram buckets, so a multi-model aggregate merges
+// them bucket-wise and recomputes percentiles EXACTLY (to within the bucket
+// bound) instead of request-weighting per-model percentiles. The honesty
+// marker must read false on this path.
+TEST(MetricsTest, AggregateSnapshotsMergesHistogramsExactly) {
+  Metrics hot;
+  Metrics cold;
+  // Hot model: 900 fast requests around 2 ms. Cold model: 100 slow ones at
+  // 80 ms. A request-weighted p99 would blend the two per-model p99s; the
+  // exact merged p99 must land in the slow mode (rank 990 of 1000 > 900).
+  for (int i = 0; i < 900; ++i) hot.RecordLatency(2.0);
+  for (int i = 0; i < 100; ++i) cold.RecordLatency(80.0);
+
+  const auto agg = AggregateSnapshots({hot.Snapshot(), cold.Snapshot()});
+  EXPECT_EQ(agg.requests_served, 1000u);
+  EXPECT_FALSE(agg.approx_percentiles)
+      << "merged histograms are exact, not request-weighted";
+  constexpr double kBound = obs::LatencyHistogram::kMaxRelativeError;
+  EXPECT_NEAR(agg.latency_p50_ms, 2.0, 2.0 * kBound);
+  EXPECT_NEAR(agg.latency_p99_ms, 80.0, 80.0 * kBound);
+  // The merged count is the sum of per-part bucket mass.
+  EXPECT_EQ(agg.latency_hist.count, 1000u);
+  EXPECT_NE(agg.ToJson().find("\"approx_percentiles\": false"),
+            std::string::npos);
+}
+
+// NaN and negative latencies (clock skew, subtraction of unordered
+// timestamps) must not poison the histogram: they clamp to bucket zero and
+// increment the dropped_samples diagnostic counter.
+TEST(MetricsTest, NonFiniteAndNegativeLatenciesAreClampedAndCounted) {
+  Metrics metrics;
+  metrics.RecordLatency(std::numeric_limits<double>::quiet_NaN());
+  metrics.RecordLatency(-3.0);
+  metrics.RecordQueueWait(std::numeric_limits<double>::quiet_NaN());
+  metrics.RecordQueueWait(-1.0);
+  metrics.RecordLatency(5.0);  // one honest sample
+
+  const auto snap = metrics.Snapshot();
+  EXPECT_EQ(snap.requests_served, 3u) << "clamped samples still count served";
+  EXPECT_EQ(snap.dropped_samples, 4u);
+  EXPECT_EQ(snap.latency_hist.count, 3u);
+  EXPECT_EQ(snap.queue_wait_hist.count, 2u);
+  // p99 rides the honest sample; the clamped ones sit at 0.
+  constexpr double kBound = obs::LatencyHistogram::kMaxRelativeError;
+  EXPECT_NEAR(snap.latency_p99_ms, 5.0, 5.0 * kBound);
+  EXPECT_DOUBLE_EQ(snap.queue_wait_p50_ms, 0.0);
+  EXPECT_NE(snap.ToJson().find("\"dropped_samples\": 4"), std::string::npos);
 }
 
 TEST(InferenceEngineTest, SnapshotCarriesLiveQueueDepthGauge) {

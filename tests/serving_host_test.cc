@@ -10,12 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "memory/fault_injector.h"
 #include "nn/init.h"
+#include "obs/trace.h"
 #include "runtime/serving_host.h"
 #include "support/prng.h"
 
@@ -376,6 +378,81 @@ TEST(ServingHostTest, BackgroundScrubberHealsEachModelIndependently) {
     EXPECT_TRUE(AllClose(b->Predict(probes_b[i]), golden_b[i], 1e-2f));
   }
   host.Stop();
+}
+
+// Incident-journal contract: every fault-drive-induced quarantine opens
+// exactly one incident, recovery closes it with the measured downtime, and
+// with tracing + a trace dir configured each open auto-captures a Chrome
+// trace of the window leading up to the quarantine.
+TEST(ServingHostTest, EveryQuarantineOpensAndClosesOneIncidentWithTrace) {
+  namespace fs = std::filesystem;
+  const fs::path trace_dir =
+      fs::temp_directory_path() / "milr_host_incident_traces";
+  fs::remove_all(trace_dir);
+  auto& tracer = obs::Tracer::Get();
+  tracer.Enable(1u << 12);
+
+  nn::Model model = TestModel(31);
+  const auto probes = Probes(model, 2, 700);
+  ServingHostConfig config;
+  config.worker_threads = 2;
+  config.scrubber_enabled = false;  // deterministic: scrub on demand
+  config.incident_trace_dir = trace_dir.string();
+  ServingHost host(config);
+  auto handle = host.AddModel(model, {}, "victim");
+  host.Start();
+
+  constexpr std::size_t kCampaigns = 3;
+  Prng prng(37);
+  for (std::size_t i = 0; i < kCampaigns; ++i) {
+    for (const auto& probe : probes) handle->Predict(probe);
+    handle->InjectFault([&](nn::Model& live) {
+      return memory::CorruptWholeLayer(live, 0, prng);
+    });
+    const ScrubReport report = handle->ScrubCycle();
+    ASSERT_GE(report.flagged_layers, 1u) << "campaign " << i;
+    ASSERT_TRUE(report.recovery_ok) << "campaign " << i;
+  }
+  host.Stop();
+  tracer.Disable();
+  tracer.Clear();
+
+  const auto& journal = host.incident_journal();
+  const auto snap = handle->Snapshot();
+  EXPECT_EQ(snap.detections, kCampaigns);
+  // One incident per quarantine, no extras, all closed.
+  EXPECT_EQ(journal.incidents_opened(), kCampaigns);
+  EXPECT_EQ(journal.open_incidents(), 0u);
+  const auto incidents = journal.Incidents();
+  ASSERT_EQ(incidents.size(), kCampaigns);
+  double incident_downtime = 0.0;
+  for (const auto& incident : incidents) {
+    EXPECT_EQ(incident.kind, obs::IncidentKind::kQuarantine);
+    EXPECT_EQ(incident.model, "victim");
+    EXPECT_FALSE(incident.open);
+    EXPECT_TRUE(incident.recovered);
+    EXPECT_GT(incident.downtime_seconds, 0.0);
+    EXPECT_LT(incident.downtime_seconds, 60.0);
+    EXPECT_GE(incident.layers_flagged, 1u);
+    EXPECT_GE(incident.layers_recovered, 1u);
+    ASSERT_FALSE(incident.trace_path.empty())
+        << "tracing was on and a trace dir was configured";
+    EXPECT_TRUE(fs::exists(incident.trace_path)) << incident.trace_path;
+    incident_downtime += incident.downtime_seconds;
+  }
+  // The journal's downtime must agree with the metrics' ledger.
+  EXPECT_NEAR(incident_downtime, snap.recovery_downtime_seconds, 1e-6);
+  // Fault injections are journaled as standalone events.
+  std::size_t injections = 0;
+  for (const auto& event : journal.Events()) {
+    if (event.kind == obs::IncidentEventKind::kFaultInjection) ++injections;
+  }
+  EXPECT_EQ(injections, kCampaigns);
+  // The structured JSON view renders and carries the incidents.
+  const std::string json = host.IncidentJournalJson();
+  EXPECT_NE(json.find("\"incidents\""), std::string::npos);
+  EXPECT_NE(json.find("\"model\": \"victim\""), std::string::npos);
+  fs::remove_all(trace_dir);
 }
 
 // ----------------------------------------------------- scheduler fairness
